@@ -1,0 +1,137 @@
+// Command figures regenerates the paper's evaluation figures
+// (Figs. 16-20) and the extension experiments as CSV or text tables.
+//
+// Usage:
+//
+//	figures [-id fig18a] [-list] [-csv] [-quick] [-out DIR]
+//	        [-warmup N] [-measure N] [-seed S] [-procs P]
+//
+// Without -id it runs every paper figure. With -out it writes one
+// CSV file per figure into DIR; otherwise it prints tables to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"minsim/internal/experiments"
+	"minsim/internal/report"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "", "run a single experiment by id (e.g. fig18a, ext-cluster32)")
+		file    = flag.String("file", "", "run a custom experiment from a JSON definition file")
+		rep     = flag.String("report", "", "run every paper figure, evaluate the machine-checkable claims, and write a markdown reproduction report to this file")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		plot    = flag.Bool("plot", false, "render ASCII latency/throughput plots")
+		quick   = flag.Bool("quick", false, "use the quick budget (shorter runs, noisier curves)")
+		ext     = flag.Bool("extensions", false, "also run the extension experiments")
+		outDir  = flag.String("out", "", "write per-figure CSV files into this directory")
+		warmup  = flag.Int64("warmup", 0, "override warmup cycles")
+		measure = flag.Int64("measure", 0, "override measurement cycles")
+		seed    = flag.Uint64("seed", 0, "override random seed")
+		procs   = flag.Int("procs", 0, "parallel simulations per figure (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	exps := experiments.Figures()
+	if *ext {
+		exps = append(exps, experiments.Extensions()...)
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		exps = []experiments.Experiment{e}
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		e, err := experiments.ParseJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		exps = []experiments.Experiment{e}
+	}
+
+	budget := experiments.DefaultBudget
+	if *quick {
+		budget = experiments.QuickBudget
+	}
+	if *warmup > 0 {
+		budget.WarmupCycles = *warmup
+	}
+	if *measure > 0 {
+		budget.MeasureCycles = *measure
+	}
+	if *seed != 0 {
+		budget.Seed = *seed
+	}
+	budget.Parallelism = *procs
+
+	if *rep != "" {
+		md, failures, err := report.Generate(budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*rep, []byte(md), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("reproduction report written to %s (%d failed checks)\n", *rep, failures)
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fig, err := e.Run(budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch {
+		case *outDir != "":
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s -> %s (%v)\n", e.ID, path, elapsed)
+			fmt.Print(fig.Summary())
+		case *csv:
+			fmt.Print(fig.CSV())
+		case *plot:
+			fmt.Print(fig.ASCIIPlot(64, 18))
+			fmt.Printf("expectation (paper): %s\nruntime: %v\n\n", e.Expect, elapsed)
+		default:
+			fmt.Print(fig.Table())
+			fmt.Printf("  expectation (paper): %s\n  runtime: %v\n\n", e.Expect, elapsed)
+		}
+	}
+}

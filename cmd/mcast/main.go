@@ -1,0 +1,93 @@
+// Command mcast simulates software multicast on a wormhole MIN and
+// compares tree-building strategies (the paper's future-work item on
+// multicast support).
+//
+// Usage:
+//
+//	mcast -net bmin -root 0 -dests 1,2,3,16,32 -len 256
+//	mcast -net bmin -broadcast -len 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minsim"
+	"minsim/internal/cli"
+)
+
+func main() {
+	var (
+		netName   = flag.String("net", "bmin", "network: tmin, dmin, vmin, bmin")
+		k         = flag.Int("k", 4, "switch arity")
+		stages    = flag.Int("stages", 3, "stages")
+		root      = flag.Int("root", 0, "multicast root node")
+		destsFlag = flag.String("dests", "", "comma-separated destination nodes")
+		broadcast = flag.Bool("broadcast", false, "send to every other node")
+		msgLen    = flag.Int("len", 256, "message length in flits")
+		gather    = flag.Bool("gather", false, "simulate the reduction (gather) instead of the multicast")
+	)
+	flag.Parse()
+
+	kind, err := cli.ParseKind(*netName)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := minsim.NewNetwork(minsim.NetworkConfig{Kind: kind, K: *k, Stages: *stages})
+	if err != nil {
+		fatal(err)
+	}
+
+	var dests []int
+	switch {
+	case *broadcast:
+		for i := 0; i < net.Nodes(); i++ {
+			if i != *root {
+				dests = append(dests, i)
+			}
+		}
+	case *destsFlag != "":
+		var err error
+		dests, err = cli.ParseNodeList(*destsFlag)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -dests or -broadcast"))
+	}
+
+	op := "multicast to"
+	if *gather {
+		op = "gather from"
+	}
+	fmt.Printf("%s: %d-flit %s %d nodes (root %d)\n\n", net.Name(), *msgLen, op, len(dests), *root)
+	fmt.Printf("%-24s %-16s %-10s %s\n", "algorithm", "latency (cyc)", "unicasts", "rounds")
+	for _, a := range []struct {
+		name string
+		alg  minsim.MulticastAlgorithm
+	}{
+		{"separate addressing", minsim.SeparateAddressing},
+		{"binomial tree", minsim.BinomialTree},
+		{"dimension-ordered tree", minsim.SubtreeTree},
+	} {
+		var (
+			res minsim.MulticastResult
+			err error
+		)
+		if *gather {
+			res, err = net.Gather(a.alg, *root, dests, *msgLen)
+		} else {
+			res, err = net.Multicast(a.alg, *root, dests, *msgLen)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-24s %-16d %-10d %d\n", a.name, res.LatencyCycles, res.Unicasts, res.Rounds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mcast: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command sweep runs an offered-load sweep of one network/workload
+// combination and prints the latency/throughput curve as a table or
+// CSV — the building block of the paper's figures when you want a
+// custom combination rather than a predefined panel.
+//
+// Usage:
+//
+//	sweep -net bmin -pattern uniform -from 0.05 -to 0.9 -points 12
+//	sweep -net vmin -vcs 4 -pattern hotspot -hotx 0.1 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minsim"
+	"minsim/internal/cli"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "tmin", "network: tmin, dmin, vmin, bmin")
+		wiring  = flag.String("wiring", "cube", "interstage wiring: cube or butterfly")
+		k       = flag.Int("k", 4, "switch arity")
+		stages  = flag.Int("stages", 3, "stages")
+		dil     = flag.Int("dilation", 2, "DMIN dilation")
+		vcs     = flag.Int("vcs", 2, "VMIN virtual channels")
+
+		pattern = flag.String("pattern", "uniform", "traffic: uniform, hotspot, shuffle, butterfly")
+		scope   = flag.String("scope", "global", "clustering: global, cluster16, shared, cluster32")
+		hotX    = flag.Float64("hotx", 0.05, "hot spot extra fraction")
+		bfi     = flag.Int("bfi", 2, "butterfly permutation index")
+		minLen  = flag.Int("minlen", 8, "minimum message length")
+		maxLen  = flag.Int("maxlen", 1024, "maximum message length")
+
+		from    = flag.Float64("from", 0.05, "first offered load")
+		to      = flag.Float64("to", 0.9, "last offered load")
+		points  = flag.Int("points", 10, "number of load points")
+		warmup  = flag.Int64("warmup", 20000, "warmup cycles")
+		measure = flag.Int64("measure", 60000, "measurement cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		procs   = flag.Int("procs", 0, "parallel points (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	kv, err := cli.ParseKind(*netName)
+	if err != nil {
+		fatal(err)
+	}
+	pv, err := cli.ParsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	sv, err := cli.ParseScope(*scope)
+	if err != nil {
+		fatal(err)
+	}
+	wv, err := cli.ParseWiring(*wiring)
+	if err != nil {
+		fatal(err)
+	}
+
+	net, err := minsim.NewNetwork(minsim.NetworkConfig{
+		Kind: kv, Wiring: wv, K: *k, Stages: *stages, Dilation: *dil, VCs: *vcs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	loads, err := cli.LoadRange(*from, *to, *points)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := minsim.Sweep(minsim.SweepConfig{
+		Network: net,
+		Workload: minsim.Workload{
+			Pattern: pv, Scope: sv, HotX: *hotX, ButterflyI: *bfi,
+			MinLen: *minLen, MaxLen: *maxLen,
+		},
+		Loads:         loads,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		Seed:          *seed,
+		Parallelism:   *procs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csv {
+		fmt.Println("offered,throughput,latency_cycles,latency_ms,messages,sustainable")
+		for _, r := range res {
+			fmt.Printf("%.4f,%.4f,%.1f,%.3f,%d,%t\n",
+				r.Offered, r.Throughput, r.MeanLatencyCycles, r.MeanLatencyMs, r.MessagesMeasured, r.Sustainable)
+		}
+		return
+	}
+	fmt.Printf("%s, %s/%s\n", net.Name(), *pattern, *scope)
+	fmt.Printf("%-10s %-12s %-14s %-12s %s\n", "offered", "throughput", "latency(cyc)", "latency(ms)", "sustainable")
+	for _, r := range res {
+		fmt.Printf("%-10.3f %-12.4f %-14.1f %-12.3f %t\n",
+			r.Offered, r.Throughput, r.MeanLatencyCycles, r.MeanLatencyMs, r.Sustainable)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Hotspot: reproduce the hot-spot experiment of Fig. 19 on a smaller
+// budget — sweep the offered load under 5% and 10% hot-spot traffic
+// and watch tree saturation depress every network, with the DMIN
+// degrading the least.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minsim"
+)
+
+func main() {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	kinds := []struct {
+		name string
+		kind minsim.Kind
+	}{
+		{"TMIN", minsim.TMIN},
+		{"DMIN", minsim.DMIN},
+		{"VMIN", minsim.VMIN},
+		{"BMIN", minsim.BMIN},
+	}
+
+	for _, x := range []float64{0.05, 0.10} {
+		fmt.Printf("hot spot: node 0 receives %.0f%% extra traffic (Pfister-Norton model)\n", 100*x)
+		fmt.Printf("%-8s", "load")
+		for _, k := range kinds {
+			fmt.Printf("  %-18s", k.name+" thpt/lat(ms)")
+		}
+		fmt.Println()
+		for _, load := range loads {
+			fmt.Printf("%-8.2f", load)
+			for _, k := range kinds {
+				net, err := minsim.NewNetwork(minsim.NetworkConfig{Kind: k.kind})
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := minsim.Run(minsim.RunConfig{
+					Network:       net,
+					Workload:      minsim.Workload{Pattern: minsim.HotSpot, HotX: x},
+					Load:          load,
+					WarmupCycles:  10000,
+					MeasureCycles: 30000,
+					Seed:          7,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-6.3f/%-11.1f", res.Throughput, res.MeanLatencyMs)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Expect all four depressed relative to uniform traffic; the DMIN holds up best,")
+	fmt.Println("and the TMIN-BMIN gap stays small (the BMIN's downward path is unique).")
+}

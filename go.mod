@@ -1,0 +1,3 @@
+module minsim
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package analytic provides closed-form performance models and
+// structural bounds for the simulated networks, drawn from the
+// literature the paper builds on — Patel's delta-network bandwidth
+// recurrence, the Kruskal/Snir asymptotic, an M/G/1 model of the
+// one-port source queue, the hot-spot capacity bound implied by the
+// Pfister/Norton traffic model, and a max-min-fair water-filling bound
+// for permutation traffic. The test suite cross-validates the
+// simulator against these models in the regimes where they apply.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// PatelBandwidth evaluates Patel's classic recurrence for an n-stage
+// unbuffered delta network of k x k switches: if each input issues a
+// request with probability p0 per cycle, the probability that a given
+// output of stage i carries a request is
+//
+//	p_{i+1} = 1 - (1 - p_i/k)^k
+//
+// and the normalized bandwidth is p_n (accepted requests per output
+// per cycle). It is an optimistic reference for packet-style traffic
+// and an upper-trend curve for wormhole traffic.
+func PatelBandwidth(k, n int, p0 float64) float64 {
+	if k < 2 || n < 1 {
+		panic(fmt.Sprintf("analytic: bad network k=%d n=%d", k, n))
+	}
+	if p0 < 0 || p0 > 1 {
+		panic(fmt.Sprintf("analytic: request rate %v out of [0, 1]", p0))
+	}
+	p := p0
+	for i := 0; i < n; i++ {
+		p = 1 - math.Pow(1-p/float64(k), float64(k))
+	}
+	return p
+}
+
+// KruskalSnirApprox is the Kruskal/Snir large-n approximation of the
+// same recurrence at full load:
+//
+//	p_n ≈ 2k / ((k-1) n)
+//
+// valid for n large; it underestimates shallow networks.
+func KruskalSnirApprox(k, n int) float64 {
+	if k < 2 || n < 1 {
+		panic(fmt.Sprintf("analytic: bad network k=%d n=%d", k, n))
+	}
+	return 2 * float64(k) / (float64(k-1) * float64(n))
+}
+
+// DilatedBandwidth extends Patel's recurrence to d-dilated delta
+// networks, after Kruskal/Snir's analysis of dilated MINs (the
+// paper's reference [5]): each stage has k x k switches whose ports
+// bundle d channels. If each of the k·d input channels carries a
+// request with probability p, requests pick one of the k output ports
+// uniformly, and a port delivers up to d of them, then the per-channel
+// carried probability at the next stage is E[min(X, d)]/d with
+// X ~ Binomial(k·d, p/k). d = 1 reduces to Patel's recurrence.
+func DilatedBandwidth(k, n, d int, p0 float64) float64 {
+	if k < 2 || n < 1 || d < 1 {
+		panic(fmt.Sprintf("analytic: bad network k=%d n=%d d=%d", k, n, d))
+	}
+	if p0 < 0 || p0 > 1 {
+		panic(fmt.Sprintf("analytic: request rate %v out of [0, 1]", p0))
+	}
+	p := p0
+	for i := 0; i < n; i++ {
+		p = expMinBinomial(k*d, p/float64(k), d) / float64(d)
+	}
+	return p
+}
+
+// expMinBinomial returns E[min(X, cap)] for X ~ Binomial(n, q).
+func expMinBinomial(n int, q float64, cap int) float64 {
+	// P(X = x) computed iteratively to avoid large factorials.
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Min(float64(n), float64(cap))
+	}
+	p := math.Pow(1-q, float64(n)) // P(X = 0)
+	e := 0.0
+	for x := 0; x <= n; x++ {
+		contrib := float64(x)
+		if contrib > float64(cap) {
+			contrib = float64(cap)
+		}
+		e += contrib * p
+		// Advance to P(X = x+1).
+		if x < n {
+			p *= float64(n-x) / float64(x+1) * q / (1 - q)
+		}
+	}
+	return e
+}
+
+// Moments carries the first two moments of a message-length
+// distribution in flits.
+type Moments struct {
+	Mean float64
+	M2   float64 // E[L^2]
+}
+
+// UniformMoments returns the moments of the discrete uniform
+// distribution on [lo, hi] — the paper's U{8..1024}.
+func UniformMoments(lo, hi int) Moments {
+	if hi < lo || lo < 1 {
+		panic(fmt.Sprintf("analytic: bad length range [%d, %d]", lo, hi))
+	}
+	a, b := float64(lo), float64(hi)
+	n := b - a + 1
+	mean := (a + b) / 2
+	// Var of discrete uniform on n points: (n^2 - 1) / 12.
+	variance := (n*n - 1) / 12
+	return Moments{Mean: mean, M2: variance + mean*mean}
+}
+
+// FixedMoments returns the moments of a constant length.
+func FixedMoments(l int) Moments {
+	v := float64(l)
+	return Moments{Mean: v, M2: v * v}
+}
+
+// BimodalMoments returns the moments of a two-point distribution.
+func BimodalMoments(short, long int, pShort float64) Moments {
+	s, l := float64(short), float64(long)
+	mean := pShort*s + (1-pShort)*l
+	m2 := pShort*s*s + (1-pShort)*l*l
+	return Moments{Mean: mean, M2: m2}
+}
+
+// SourceQueueModel models the one-port source as an M/G/1 queue: the
+// injection channel serves one message at a time, holding for about
+// S = L + overhead cycles (the tail leaves the injection channel one
+// cycle after the last flit enters, and the head spends one cycle per
+// hop it must clear before streaming starts). With Poisson arrivals of
+// rate lambda (messages/cycle), Pollaczek-Khinchine gives the mean
+// wait; adding the in-network time L + pathLen yields the expected
+// uncontended message latency.
+type SourceQueueModel struct {
+	Lambda  float64 // messages per cycle per node
+	Lengths Moments
+	PathLen int // channels traversed (n+1 or 2(t+1))
+}
+
+// Utilization returns the source utilization rho = lambda * E[S].
+func (m SourceQueueModel) Utilization() float64 {
+	return m.Lambda * m.serviceMean()
+}
+
+func (m SourceQueueModel) serviceMean() float64 {
+	// The injection channel is held from the first flit entering until
+	// the tail leaves it: about L + 1 cycles.
+	return m.Lengths.Mean + 1
+}
+
+func (m SourceQueueModel) serviceM2() float64 {
+	// E[(L+1)^2] = E[L^2] + 2 E[L] + 1.
+	return m.Lengths.M2 + 2*m.Lengths.Mean + 1
+}
+
+// Wait returns the Pollaczek-Khinchine mean queueing delay in cycles:
+// W = lambda E[S^2] / (2 (1 - rho)). It returns +Inf at or beyond
+// saturation (rho >= 1).
+func (m SourceQueueModel) Wait() float64 {
+	rho := m.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return m.Lambda * m.serviceM2() / (2 * (1 - rho))
+}
+
+// Latency returns the expected end-to-end latency in cycles of an
+// uncontended wormhole message: source wait + pipeline fill
+// (path length hops) + serialization (L flits) + per-hop overhead.
+func (m SourceQueueModel) Latency() float64 {
+	w := m.Wait()
+	if math.IsInf(w, 1) {
+		return w
+	}
+	return w + m.Lengths.Mean + float64(m.PathLen) + 1
+}
+
+// HotSpotLoadBound returns the maximum sustainable offered load
+// (flits/node/cycle, averaged over all nodes) under the paper's x%
+// hot-spot pattern: the hot node receives the fraction
+// (1+y)/(N+y), y = N x, of all traffic but can eject at most one flit
+// per cycle, so load <= 1 / (N * pHot).
+func HotSpotLoadBound(nodes int, x float64) float64 {
+	if nodes < 2 || x < 0 {
+		panic(fmt.Sprintf("analytic: bad hot spot nodes=%d x=%v", nodes, x))
+	}
+	n := float64(nodes)
+	y := n * x
+	pHot := (1 + y) / (n + y)
+	return 1 / (n * pHot)
+}
+
+// FairRates computes the max-min fair rate allocation for flows over
+// unit-capacity channels by progressive water-filling: repeatedly find
+// the channel whose remaining capacity divided by its unfrozen flows
+// is smallest, freeze those flows at that fair share, and continue.
+// flows[i] lists the channel ids flow i traverses. The result is the
+// canonical estimate of per-flow steady throughput under fair
+// contention — e.g. the flit-level round-robin of a VMIN, or the
+// long-run average of random arbitration.
+func FairRates(flows [][]int, channels int) []float64 {
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	capLeft := make([]float64, channels)
+	for i := range capLeft {
+		capLeft[i] = 1
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		// Count unfrozen flows per channel.
+		users := make([]int, channels)
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			for _, c := range f {
+				users[c]++
+			}
+		}
+		// Find the tightest channel.
+		bottleneck, share := -1, math.Inf(1)
+		for c := 0; c < channels; c++ {
+			if users[c] == 0 {
+				continue
+			}
+			s := capLeft[c] / float64(users[c])
+			if s < share {
+				share, bottleneck = s, c
+			}
+		}
+		if bottleneck < 0 {
+			// Remaining flows traverse no channels; give them the
+			// unit node rate.
+			for i := range flows {
+				if !frozen[i] {
+					rates[i] = 1
+					frozen[i] = true
+					remaining--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow through the bottleneck.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			through := false
+			for _, c := range f {
+				if c == bottleneck {
+					through = true
+					break
+				}
+			}
+			if !through {
+				continue
+			}
+			rates[i] = share
+			frozen[i] = true
+			remaining--
+			for _, c := range f {
+				capLeft[c] -= share
+				if capLeft[c] < 0 {
+					capLeft[c] = 0
+				}
+			}
+		}
+	}
+	return rates
+}

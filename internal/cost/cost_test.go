@@ -1,0 +1,107 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"minsim/internal/topology"
+)
+
+func build(t *testing.T, kind topology.Kind) *topology.Network {
+	t.Helper()
+	var (
+		net *topology.Network
+		err error
+	)
+	switch kind {
+	case topology.BMIN:
+		net, err = topology.NewBMIN(4, 3)
+	case topology.DMIN:
+		net, err = topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 2, VCs: 1})
+	case topology.VMIN:
+		net, err = topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 2})
+	default:
+		net, err = topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSwitchModels(t *testing.T) {
+	tmin := SwitchModel(build(t, topology.TMIN), 1)
+	if tmin.InChannels != 4 || tmin.OutChannels != 4 || tmin.CrossbarPoints != 16 || tmin.Buffers != 4 {
+		t.Errorf("TMIN switch: %+v", tmin)
+	}
+	if tmin.ArbiterDelay != 2 || tmin.ChannelDelay != 0 {
+		t.Errorf("TMIN delays: %+v", tmin)
+	}
+	dmin := SwitchModel(build(t, topology.DMIN), 1)
+	if dmin.InChannels != 8 || dmin.CrossbarPoints != 64 {
+		t.Errorf("DMIN switch: %+v", dmin)
+	}
+	vmin := SwitchModel(build(t, topology.VMIN), 1)
+	if vmin.InChannels != 8 || vmin.ChannelDelay != 1 {
+		t.Errorf("VMIN switch: %+v", vmin)
+	}
+	bmin := SwitchModel(build(t, topology.BMIN), 1)
+	if bmin.InChannels != 8 || bmin.CrossbarPoints != 64 {
+		t.Errorf("BMIN switch: %+v", bmin)
+	}
+	// Depth scales buffers only.
+	deep := SwitchModel(build(t, topology.TMIN), 4)
+	if deep.Buffers != 16 || deep.CrossbarPoints != tmin.CrossbarPoints {
+		t.Errorf("depth scaling wrong: %+v", deep)
+	}
+}
+
+// TestPaperComplexityClaims verifies the paper's cost statements:
+// DMIN (d=2) and BMIN have similar hardware complexity (same channel
+// count, same crossbar points per switch); VMIN/DMIN/BMIN switches
+// are similar; the VC switch pays a cycle-time penalty.
+func TestPaperComplexityClaims(t *testing.T) {
+	dmin := NetworkModel(build(t, topology.DMIN), 1)
+	bmin := NetworkModel(build(t, topology.BMIN), 1)
+	vmin := NetworkModel(build(t, topology.VMIN), 1)
+	tmin := NetworkModel(build(t, topology.TMIN), 1)
+
+	if dmin.Channels != bmin.Channels {
+		t.Errorf("DMIN channels %d vs BMIN %d; paper calls these similar", dmin.Channels, bmin.Channels)
+	}
+	if dmin.CrossbarPoints != bmin.CrossbarPoints {
+		t.Errorf("DMIN crossbar %d vs BMIN %d", dmin.CrossbarPoints, bmin.CrossbarPoints)
+	}
+	if vmin.CrossbarPoints != dmin.CrossbarPoints {
+		t.Errorf("VMIN crossbar %d vs DMIN %d; switch designs should be similar", vmin.CrossbarPoints, dmin.CrossbarPoints)
+	}
+	// All three multipath designs cost more than the TMIN.
+	if !(tmin.CrossbarPoints < dmin.CrossbarPoints) {
+		t.Error("TMIN should be the cheapest")
+	}
+	// The VMIN pays the multiplexing cycle-time penalty; the DMIN does not.
+	if !(vmin.CycleTimePenalty > dmin.CycleTimePenalty) {
+		t.Errorf("VMIN penalty %v should exceed DMIN %v", vmin.CycleTimePenalty, dmin.CycleTimePenalty)
+	}
+	if tmin.CycleTimePenalty != 1 {
+		t.Errorf("TMIN penalty %v, want 1", tmin.CycleTimePenalty)
+	}
+}
+
+func TestReport(t *testing.T) {
+	nets := []*topology.Network{
+		build(t, topology.TMIN), build(t, topology.DMIN),
+		build(t, topology.VMIN), build(t, topology.BMIN),
+	}
+	rep := Report(nets, 1)
+	if !strings.Contains(rep, "TMIN") || !strings.Contains(rep, "BMIN") {
+		t.Errorf("report missing rows:\n%s", rep)
+	}
+	// First row is the reference: relative cost 1.00.
+	if !strings.Contains(rep, "1.00") {
+		t.Errorf("report missing normalization:\n%s", rep)
+	}
+	if Report(nil, 1) != "" {
+		t.Error("empty report should be empty")
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+// Batch-means support: the standard output-analysis technique for
+// steady-state simulations. The measurement window is cut into
+// fixed-length batches; per-batch mean latencies are approximately
+// independent, so their spread yields a confidence interval for the
+// long-run mean (see metrics.ConfidenceInterval).
+
+// batchAcc accumulates one batch.
+type batchAcc struct {
+	sum   int64
+	count int64
+}
+
+// EnableBatchMeans turns on batch collection with the given batch
+// length in cycles. Messages are assigned to batches by completion
+// time relative to the measurement start. Call before running;
+// batchCycles must be positive.
+func (e *Engine) EnableBatchMeans(batchCycles int64) {
+	if batchCycles <= 0 {
+		panic("engine: non-positive batch length")
+	}
+	e.batchCycles = batchCycles
+	e.batches = e.batches[:0]
+}
+
+// BatchMeans returns the mean latency of each completed batch that
+// measured at least one message, in time order.
+func (e *Engine) BatchMeans() []float64 {
+	var out []float64
+	for _, b := range e.batches {
+		if b.count > 0 {
+			out = append(out, float64(b.sum)/float64(b.count))
+		}
+	}
+	return out
+}
+
+// recordBatch files one measured latency into its batch.
+func (e *Engine) recordBatch(lat int64) {
+	if e.batchCycles <= 0 {
+		return
+	}
+	idx := int((e.now - e.measureFrom) / e.batchCycles)
+	if idx < 0 {
+		return
+	}
+	for len(e.batches) <= idx {
+		e.batches = append(e.batches, batchAcc{})
+	}
+	e.batches[idx].sum += lat
+	e.batches[idx].count++
+}

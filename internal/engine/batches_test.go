@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"minsim/internal/topology"
+)
+
+func TestBatchMeans(t *testing.T) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A steady stream of identical messages: every batch mean should
+	// equal every other (deterministic latency).
+	var msgs []Message
+	for i := 0; i < 40; i++ {
+		msgs = append(msgs, Message{Src: 0, Dst: 9, Len: 10, Created: int64(i * 100)})
+	}
+	e, err := New(Config{Net: net, Source: scripted(net.Nodes, msgs...), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableBatchMeans(500)
+	if !e.RunUntilDrained(100000) {
+		t.Fatal("did not drain")
+	}
+	means := e.BatchMeans()
+	if len(means) < 5 {
+		t.Fatalf("only %d batches", len(means))
+	}
+	for i := 1; i < len(means); i++ {
+		if math.Abs(means[i]-means[0]) > 1e-9 {
+			t.Errorf("batch %d mean %v differs from %v under deterministic traffic", i, means[i], means[0])
+		}
+	}
+	// Overall mean equals the engine's mean.
+	sum := 0.0
+	for _, m := range means {
+		sum += m
+	}
+	if got := sum / float64(len(means)); math.Abs(got-e.Stats().MeanLatency()) > 1e-9 {
+		t.Errorf("batch grand mean %v vs stats mean %v", got, e.Stats().MeanLatency())
+	}
+}
+
+func TestBatchMeansRespectMeasureFrom(t *testing.T) {
+	net, _ := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	e, _ := New(Config{Net: net, Source: scripted(net.Nodes,
+		Message{Src: 0, Dst: 1, Len: 10, Created: 0},     // before window
+		Message{Src: 2, Dst: 3, Len: 10, Created: 1000},  // inside
+		Message{Src: 4, Dst: 5, Len: 10, Created: 1600}), // inside, later batch
+		Seed: 2})
+	e.SetMeasureFrom(500)
+	e.EnableBatchMeans(600)
+	if !e.RunUntilDrained(50000) {
+		t.Fatal("did not drain")
+	}
+	means := e.BatchMeans()
+	if len(means) != 2 {
+		t.Fatalf("%d non-empty batches, want 2 (warmup message excluded)", len(means))
+	}
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	net, _ := topology.NewBMIN(2, 2)
+	e, _ := New(Config{Net: net, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("zero batch length did not panic")
+		}
+	}()
+	e.EnableBatchMeans(0)
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"minsim/internal/topology"
+)
+
+func TestBufferDepthValidation(t *testing.T) {
+	net, _ := topology.NewBMIN(2, 2)
+	if _, err := New(Config{Net: net, BufferDepth: -1}); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := New(Config{Net: net, BufferDepth: 300}); err == nil {
+		t.Error("depth > 255 accepted")
+	}
+	if _, err := New(Config{Net: net, BufferDepth: 4}); err != nil {
+		t.Errorf("depth 4 rejected: %v", err)
+	}
+}
+
+// TestDeepBuffersHoldMoreFlits: a blocked worm packs up to depth
+// flits per held channel, so fewer channels carry the same worm.
+func TestDeepBuffersHoldMoreFlits(t *testing.T) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block the path: msg A holds the ejection channel of node 1 for a
+	// long time; msg B (sharing the final port) stalls behind it.
+	for _, depth := range []int{1, 4} {
+		e, err := New(Config{
+			Net: net,
+			Source: scripted(net.Nodes,
+				Message{Src: 0, Dst: 1, Len: 400, Created: 0},
+				Message{Src: 2, Dst: 1, Len: 100, Created: 0},
+			),
+			Seed:        1,
+			BufferDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(150)
+		// Find the stalled worm (src 2) and count its buffered flits.
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		buffered := 0
+		for _, w := range e.worms {
+			if w.msg.Src == 2 {
+				buffered = w.inj - w.del
+			}
+		}
+		// A stalled worm can buffer at most depth * path-length flits.
+		max := depth * 4
+		if buffered > max {
+			t.Errorf("depth %d: stalled worm buffers %d flits, cap %d", depth, buffered, max)
+		}
+		if depth == 4 && buffered <= 4 {
+			t.Errorf("depth 4: stalled worm buffers only %d flits; deep buffers unused", buffered)
+		}
+		if !e.RunUntilDrained(100000) {
+			t.Fatalf("depth %d: did not drain", depth)
+		}
+	}
+}
+
+// TestDepthPreservesConservation: random traffic at depth 4 still
+// delivers everything with invariants intact.
+func TestDepthPreservesConservation(t *testing.T) {
+	net, err := topology.NewBMIN(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []Message
+	for s := 0; s < net.Nodes; s++ {
+		for j := 1; j <= 3; j++ {
+			d := (s*13 + j*29) % net.Nodes
+			if d == s {
+				continue
+			}
+			msgs = append(msgs, Message{Src: s, Dst: d, Len: 8 + (s+j)%40, Created: int64(j * 3)})
+		}
+	}
+	e, err := New(Config{Net: net, Source: scripted(net.Nodes, msgs...), Seed: 9, BufferDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		e.Step()
+		if i%100 == 0 {
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+		}
+	}
+	if !e.RunUntilDrained(200000) {
+		t.Fatal("did not drain")
+	}
+	if e.Stats().Delivered != int64(len(msgs)) {
+		t.Errorf("delivered %d of %d", e.Stats().Delivered, len(msgs))
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeeperBuffersNotWorse: under contended uniform traffic, depth-4
+// buffers yield at least the depth-1 throughput (they can only absorb
+// more transient blocking).
+func TestDeeperBuffersNotWorse(t *testing.T) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(depth int) float64 {
+		var msgs []Message
+		for s := 0; s < net.Nodes; s++ {
+			for j := 0; j < 30; j++ {
+				d := (s + 1 + (j*7)%(net.Nodes-1)) % net.Nodes
+				msgs = append(msgs, Message{Src: s, Dst: d, Len: 64, Created: int64(j * 100)})
+			}
+		}
+		e, err := New(Config{Net: net, Source: scripted(net.Nodes, msgs...), Seed: 11, BufferDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(3000)
+		return e.Stats().Throughput(net.Nodes)
+	}
+	t1, t4 := run(1), run(4)
+	if t4 < t1*0.95 {
+		t.Errorf("depth 4 throughput %v below depth 1 %v", t4, t1)
+	}
+}

@@ -1,0 +1,287 @@
+// Package experiments defines the paper's simulation experiments —
+// one per figure panel of Section 5 (Figs. 16-20) plus the extensions
+// the paper lists as future work — and runs them through the sweep
+// harness to regenerate the latency/throughput curves.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"minsim/internal/engine"
+	"minsim/internal/kary"
+	"minsim/internal/metrics"
+	"minsim/internal/sweep"
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+// NetworkSpec names a buildable network configuration. All paper
+// experiments use 64 nodes with 4x4 switches (K = 4, Stages = 3).
+type NetworkSpec struct {
+	Kind     topology.Kind
+	Pattern  topology.Pattern // for unidirectional kinds
+	K        int
+	Stages   int
+	Dilation int // DMIN only (0 -> 2)
+	VCs      int // VMIN only (0 -> 2); BMIN virtual-channel variant
+	Extra    int // extra distribution stages (unidirectional kinds)
+}
+
+// Paper-standard network specs (Section 5).
+var (
+	TMINCube      = NetworkSpec{Kind: topology.TMIN, Pattern: topology.Cube, K: 4, Stages: 3}
+	TMINButterfly = NetworkSpec{Kind: topology.TMIN, Pattern: topology.Butterfly, K: 4, Stages: 3}
+	DMINCube      = NetworkSpec{Kind: topology.DMIN, Pattern: topology.Cube, K: 4, Stages: 3, Dilation: 2}
+	VMINCube      = NetworkSpec{Kind: topology.VMIN, Pattern: topology.Cube, K: 4, Stages: 3, VCs: 2}
+	BMINButterfly = NetworkSpec{Kind: topology.BMIN, K: 4, Stages: 3}
+)
+
+// Build constructs the network.
+func (s NetworkSpec) Build() (*topology.Network, error) {
+	switch s.Kind {
+	case topology.BMIN:
+		v := s.VCs
+		if v == 0 {
+			v = 1
+		}
+		return topology.NewBMINVC(s.K, s.Stages, v)
+	case topology.TMIN:
+		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: 1, VCs: 1, Extra: s.Extra})
+	case topology.DMIN:
+		d := s.Dilation
+		if d == 0 {
+			d = 2
+		}
+		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: d, VCs: 1, Extra: s.Extra})
+	case topology.VMIN:
+		v := s.VCs
+		if v == 0 {
+			v = 2
+		}
+		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: 1, VCs: v, Extra: s.Extra})
+	}
+	return nil, fmt.Errorf("experiments: unknown network kind %v", s.Kind)
+}
+
+// ClusterSpec names a node clustering of the 64-node system.
+type ClusterSpec int
+
+const (
+	Global          ClusterSpec = iota // one 64-node cluster
+	Cluster16                          // four base cubes 0XX..3XX
+	Cluster16Shared                    // butterfly channel-shared XX0..XX3
+	Cluster32                          // two binary-cube halves
+)
+
+// String returns the human-readable name.
+func (c ClusterSpec) String() string {
+	switch c {
+	case Global:
+		return "global"
+	case Cluster16:
+		return "cluster-16"
+	case Cluster16Shared:
+		return "cluster-16-shared"
+	case Cluster32:
+		return "cluster-32"
+	}
+	return fmt.Sprintf("ClusterSpec(%d)", int(c))
+}
+
+// clustering materializes the spec for an N-node radix space.
+func (c ClusterSpec) clustering(r kary.Radix) traffic.Clustering {
+	switch c {
+	case Cluster16:
+		return traffic.Cluster16(r)
+	case Cluster16Shared:
+		return traffic.Cluster16Shared(r)
+	case Cluster32:
+		return traffic.Halves(r.Size())
+	default:
+		return traffic.Global(r.Size())
+	}
+}
+
+// PatternSpec names a destination pattern.
+type PatternSpec struct {
+	Kind      PatternKind
+	HotX      float64 // HotSpot: extra fraction (0.05 = "5% more")
+	Butterfly int     // ButterflyPerm: permutation index i
+	Name      string  // NamedPerm: traffic.PatternByName name
+}
+
+// PatternKind enumerates the paper's four traffic patterns plus the
+// named classic permutations of traffic.PatternByName.
+type PatternKind int
+
+const (
+	Uniform PatternKind = iota
+	HotSpot
+	ShufflePerm
+	ButterflyPerm
+	NamedPerm
+)
+
+// String returns the human-readable name.
+func (p PatternSpec) String() string {
+	switch p.Kind {
+	case Uniform:
+		return "uniform"
+	case HotSpot:
+		return fmt.Sprintf("hotspot-%g%%", 100*p.HotX)
+	case ShufflePerm:
+		return "shuffle"
+	case ButterflyPerm:
+		return fmt.Sprintf("butterfly-%d", p.Butterfly)
+	case NamedPerm:
+		return p.Name
+	}
+	return fmt.Sprintf("PatternSpec(%d)", int(p.Kind))
+}
+
+// WorkloadSpec is a complete traffic description.
+type WorkloadSpec struct {
+	Cluster ClusterSpec
+	Pattern PatternSpec
+	Ratios  []float64          // per-cluster load ratios (nil = equal)
+	Lengths traffic.LengthDist // nil = paper's U{8..1024}
+}
+
+// String returns the human-readable name.
+func (w WorkloadSpec) String() string {
+	s := fmt.Sprintf("%s %s", w.Cluster, w.Pattern)
+	if w.Ratios != nil {
+		s += fmt.Sprintf(" ratios %v", w.Ratios)
+	}
+	return s
+}
+
+// Factory returns a sweep.SourceFactory realizing the workload on the
+// given network.
+func (w WorkloadSpec) Factory(net *topology.Network) sweep.SourceFactory {
+	lengths := w.Lengths
+	if lengths == nil {
+		lengths = traffic.PaperLengths
+	}
+	c := w.Cluster.clustering(net.R)
+	var pattern traffic.Pattern
+	var patErr error
+	switch w.Pattern.Kind {
+	case Uniform:
+		pattern = traffic.Uniform{C: c}
+	case HotSpot:
+		pattern = traffic.HotSpot{C: c, X: w.Pattern.HotX}
+	case ShufflePerm:
+		pattern = traffic.ShufflePattern(net.R)
+	case ButterflyPerm:
+		pattern = traffic.ButterflyPattern(net.R, w.Pattern.Butterfly)
+	case NamedPerm:
+		pattern, patErr = traffic.PatternByName(w.Pattern.Name, net.R, c)
+	}
+	return func(load float64, seed uint64) (engine.Source, error) {
+		if patErr != nil {
+			return nil, patErr
+		}
+		rates, err := traffic.NodeRates(c, load, lengths.Mean(), w.Ratios)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewWorkload(traffic.Config{
+			Nodes:   net.Nodes,
+			Pattern: pattern,
+			Lengths: lengths,
+			Rates:   rates,
+			Seed:    seed,
+		})
+	}
+}
+
+// Curve is one series of a figure: a network under a workload.
+type Curve struct {
+	Label string
+	Net   NetworkSpec
+	Work  WorkloadSpec
+	// BufferDepth overrides the per-channel flit buffer capacity for
+	// this curve (0 = the paper's single-flit buffers).
+	BufferDepth int
+	// Arbitration overrides the worm-ordering policy (default: the
+	// paper's random selection).
+	Arbitration engine.Arbitration
+}
+
+// Experiment reproduces one figure panel.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper reference and the qualitative outcome the paper reports,
+	// used by EXPERIMENTS.md and the shape checks.
+	Expect string
+	Curves []Curve
+	Loads  []float64
+}
+
+// Budget sets the simulation effort per point.
+type Budget struct {
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          uint64
+	QueueLimit    int
+	Parallelism   int
+}
+
+// DefaultBudget is sized so a full figure completes in tens of
+// seconds while giving stable curve ordering; increase the cycles for
+// smoother curves.
+var DefaultBudget = Budget{WarmupCycles: 40_000, MeasureCycles: 120_000, Seed: 1995}
+
+// QuickBudget is for tests and smoke runs.
+var QuickBudget = Budget{WarmupCycles: 5_000, MeasureCycles: 15_000, Seed: 1995}
+
+// Run executes every curve of the experiment. Curves run
+// concurrently (each curve's load points are again parallel inside
+// the sweep); results are deterministic regardless of scheduling
+// because every point derives its own seed.
+func (e Experiment) Run(b Budget) (metrics.Figure, error) {
+	fig := metrics.Figure{ID: e.ID, Title: e.Title}
+	series := make([]metrics.Series, len(e.Curves))
+	errs := make([]error, len(e.Curves))
+	var wg sync.WaitGroup
+	for i := range e.Curves {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := e.Curves[i]
+			net, err := c.Net.Build()
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s/%s: %w", e.ID, c.Label, err)
+				return
+			}
+			pts, err := sweep.Run(sweep.Config{
+				Net:           net,
+				Factory:       c.Work.Factory(net),
+				Loads:         e.Loads,
+				WarmupCycles:  b.WarmupCycles,
+				MeasureCycles: b.MeasureCycles,
+				Seed:          b.Seed,
+				QueueLimit:    b.QueueLimit,
+				BufferDepth:   c.BufferDepth,
+				Arbitration:   c.Arbitration,
+				Parallelism:   b.Parallelism,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s/%s: %w", e.ID, c.Label, err)
+				return
+			}
+			series[i] = metrics.Series{Label: c.Label, Points: pts}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fig, err
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+// JSON experiment definitions let users describe custom figure panels
+// without writing Go. The schema mirrors Experiment:
+//
+//	{
+//	  "id": "my-exp",
+//	  "title": "TMIN vs DMIN under my workload",
+//	  "expect": "DMIN wins",
+//	  "loads": [0.1, 0.3, 0.5],
+//	  "curves": [
+//	    {
+//	      "label": "TMIN",
+//	      "network": {"kind": "tmin", "wiring": "cube", "k": 4, "stages": 3},
+//	      "workload": {"cluster": "global", "pattern": "uniform"}
+//	    },
+//	    {
+//	      "label": "DMIN hot",
+//	      "network": {"kind": "dmin", "dilation": 2},
+//	      "workload": {"pattern": "hotspot", "hotx": 0.05,
+//	                   "cluster": "cluster-16", "ratios": [4,1,1,1],
+//	                   "minlen": 8, "maxlen": 1024},
+//	      "bufferdepth": 2
+//	    }
+//	  ]
+//	}
+//
+// Network kinds: tmin, dmin, vmin, bmin. Wirings: cube (default),
+// butterfly, omega, baseline. Clusters: global (default), cluster-16,
+// cluster-16-shared, cluster-32. Patterns: uniform (default),
+// hotspot, shuffle, butterfly (with "butterflyi"), or any name from
+// traffic.PatternByName (bitreverse, complement, transpose, tornado,
+// neighbor).
+
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Expect string      `json:"expect"`
+	Loads  []float64   `json:"loads"`
+	Curves []jsonCurve `json:"curves"`
+}
+
+type jsonCurve struct {
+	Label       string       `json:"label"`
+	Network     jsonNetwork  `json:"network"`
+	Workload    jsonWorkload `json:"workload"`
+	BufferDepth int          `json:"bufferdepth"`
+}
+
+type jsonNetwork struct {
+	Kind     string `json:"kind"`
+	Wiring   string `json:"wiring"`
+	K        int    `json:"k"`
+	Stages   int    `json:"stages"`
+	Dilation int    `json:"dilation"`
+	VCs      int    `json:"vcs"`
+	Extra    int    `json:"extra"`
+}
+
+type jsonWorkload struct {
+	Cluster    string    `json:"cluster"`
+	Pattern    string    `json:"pattern"`
+	HotX       float64   `json:"hotx"`
+	ButterflyI int       `json:"butterflyi"`
+	Ratios     []float64 `json:"ratios"`
+	MinLen     int       `json:"minlen"`
+	MaxLen     int       `json:"maxlen"`
+}
+
+// ParseJSON decodes a JSON experiment definition.
+func ParseJSON(data []byte) (Experiment, error) {
+	var je jsonExperiment
+	if err := json.Unmarshal(data, &je); err != nil {
+		return Experiment{}, fmt.Errorf("experiments: bad JSON: %w", err)
+	}
+	if je.ID == "" {
+		return Experiment{}, fmt.Errorf("experiments: missing id")
+	}
+	if len(je.Loads) == 0 {
+		return Experiment{}, fmt.Errorf("experiments: %s: no loads", je.ID)
+	}
+	for i := 1; i < len(je.Loads); i++ {
+		if je.Loads[i] <= je.Loads[i-1] {
+			return Experiment{}, fmt.Errorf("experiments: %s: loads must increase", je.ID)
+		}
+	}
+	if je.Loads[0] <= 0 {
+		return Experiment{}, fmt.Errorf("experiments: %s: loads must be positive", je.ID)
+	}
+	if len(je.Curves) == 0 {
+		return Experiment{}, fmt.Errorf("experiments: %s: no curves", je.ID)
+	}
+	e := Experiment{ID: je.ID, Title: je.Title, Expect: je.Expect, Loads: je.Loads}
+	if e.Title == "" {
+		e.Title = je.ID
+	}
+	for i, jc := range je.Curves {
+		if jc.Label == "" {
+			return Experiment{}, fmt.Errorf("experiments: %s: curve %d missing label", je.ID, i)
+		}
+		net, err := parseJSONNetwork(jc.Network)
+		if err != nil {
+			return Experiment{}, fmt.Errorf("experiments: %s/%s: %w", je.ID, jc.Label, err)
+		}
+		work, err := parseJSONWorkload(jc.Workload)
+		if err != nil {
+			return Experiment{}, fmt.Errorf("experiments: %s/%s: %w", je.ID, jc.Label, err)
+		}
+		if jc.BufferDepth < 0 {
+			return Experiment{}, fmt.Errorf("experiments: %s/%s: negative buffer depth", je.ID, jc.Label)
+		}
+		e.Curves = append(e.Curves, Curve{Label: jc.Label, Net: net, Work: work, BufferDepth: jc.BufferDepth})
+	}
+	// Validate the networks build.
+	for _, c := range e.Curves {
+		if _, err := c.Net.Build(); err != nil {
+			return Experiment{}, fmt.Errorf("experiments: %s/%s: %w", je.ID, c.Label, err)
+		}
+	}
+	return e, nil
+}
+
+func parseJSONNetwork(jn jsonNetwork) (NetworkSpec, error) {
+	spec := NetworkSpec{K: jn.K, Stages: jn.Stages, Dilation: jn.Dilation, VCs: jn.VCs, Extra: jn.Extra}
+	if spec.K == 0 {
+		spec.K = 4
+	}
+	if spec.Stages == 0 {
+		spec.Stages = 3
+	}
+	switch jn.Kind {
+	case "tmin", "":
+		spec.Kind = topology.TMIN
+	case "dmin":
+		spec.Kind = topology.DMIN
+	case "vmin":
+		spec.Kind = topology.VMIN
+	case "bmin":
+		spec.Kind = topology.BMIN
+	default:
+		return spec, fmt.Errorf("unknown network kind %q", jn.Kind)
+	}
+	switch jn.Wiring {
+	case "cube", "":
+		spec.Pattern = topology.Cube
+	case "butterfly":
+		spec.Pattern = topology.Butterfly
+	case "omega":
+		spec.Pattern = topology.Omega
+	case "baseline":
+		spec.Pattern = topology.Baseline
+	default:
+		return spec, fmt.Errorf("unknown wiring %q", jn.Wiring)
+	}
+	return spec, nil
+}
+
+func parseJSONWorkload(jw jsonWorkload) (WorkloadSpec, error) {
+	w := WorkloadSpec{}
+	switch jw.Cluster {
+	case "global", "":
+		w.Cluster = Global
+	case "cluster-16", "cluster16":
+		w.Cluster = Cluster16
+	case "cluster-16-shared", "shared":
+		w.Cluster = Cluster16Shared
+	case "cluster-32", "cluster32":
+		w.Cluster = Cluster32
+	default:
+		return w, fmt.Errorf("unknown cluster %q", jw.Cluster)
+	}
+	switch jw.Pattern {
+	case "uniform", "":
+		w.Pattern = PatternSpec{Kind: Uniform}
+	case "hotspot":
+		if jw.HotX < 0 {
+			return w, fmt.Errorf("negative hotx")
+		}
+		w.Pattern = PatternSpec{Kind: HotSpot, HotX: jw.HotX}
+	case "shuffle":
+		w.Pattern = PatternSpec{Kind: ShufflePerm}
+	case "butterfly":
+		w.Pattern = PatternSpec{Kind: ButterflyPerm, Butterfly: jw.ButterflyI}
+	default:
+		// Named classic permutations are validated when the factory
+		// first runs; reject obviously empty names here.
+		w.Pattern = PatternSpec{Kind: NamedPerm, Name: jw.Pattern}
+	}
+	w.Ratios = jw.Ratios
+	if jw.MinLen != 0 || jw.MaxLen != 0 {
+		min, max := jw.MinLen, jw.MaxLen
+		if min <= 0 {
+			min = 1
+		}
+		if max < min {
+			return w, fmt.Errorf("bad length range [%d, %d]", jw.MinLen, jw.MaxLen)
+		}
+		w.Lengths = traffic.UniformLen{Min: min, Max: max}
+	}
+	return w, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+const sampleJSON = `{
+  "id": "custom-1",
+  "title": "TMIN vs DMIN custom",
+  "expect": "DMIN wins",
+  "loads": [0.1, 0.3],
+  "curves": [
+    {
+      "label": "TMIN omega",
+      "network": {"kind": "tmin", "wiring": "omega"},
+      "workload": {"pattern": "uniform"}
+    },
+    {
+      "label": "DMIN hot",
+      "network": {"kind": "dmin", "dilation": 2},
+      "workload": {"pattern": "hotspot", "hotx": 0.05, "cluster": "cluster-16",
+                   "ratios": [4,1,1,1], "minlen": 8, "maxlen": 64},
+      "bufferdepth": 2
+    },
+    {
+      "label": "BMIN bitreverse",
+      "network": {"kind": "bmin"},
+      "workload": {"pattern": "bitreverse"}
+    }
+  ]
+}`
+
+func TestParseJSON(t *testing.T) {
+	e, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "custom-1" || len(e.Curves) != 3 || len(e.Loads) != 2 {
+		t.Fatalf("parsed %+v", e)
+	}
+	if e.Curves[0].Net.Pattern != topology.Omega {
+		t.Error("omega wiring not parsed")
+	}
+	if e.Curves[1].Net.Kind != topology.DMIN || e.Curves[1].BufferDepth != 2 {
+		t.Error("DMIN curve wrong")
+	}
+	if e.Curves[1].Work.Pattern.Kind != HotSpot || e.Curves[1].Work.Pattern.HotX != 0.05 {
+		t.Error("hotspot workload wrong")
+	}
+	if got := e.Curves[1].Work.Lengths.(traffic.UniformLen); got.Min != 8 || got.Max != 64 {
+		t.Error("length range wrong")
+	}
+	if e.Curves[2].Work.Pattern.Kind != NamedPerm || e.Curves[2].Work.Pattern.Name != "bitreverse" {
+		t.Error("named permutation wrong")
+	}
+}
+
+func TestParseJSONRunsEndToEnd(t *testing.T) {
+	e, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Loads = []float64{0.1}
+	fig, err := e.Run(Budget{WarmupCycles: 500, MeasureCycles: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if s.Points[0].Messages == 0 {
+			t.Errorf("%s measured nothing", s.Label)
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	bad := map[string]string{
+		"not json":       `{`,
+		"missing id":     `{"loads":[0.1],"curves":[{"label":"x"}]}`,
+		"no loads":       `{"id":"x","curves":[{"label":"x"}]}`,
+		"bad loads":      `{"id":"x","loads":[0.3,0.1],"curves":[{"label":"x"}]}`,
+		"negative loads": `{"id":"x","loads":[-0.1,0.5],"curves":[{"label":"x"}]}`,
+		"no curves":      `{"id":"x","loads":[0.1]}`,
+		"no label":       `{"id":"x","loads":[0.1],"curves":[{}]}`,
+		"bad kind":       `{"id":"x","loads":[0.1],"curves":[{"label":"a","network":{"kind":"mesh"}}]}`,
+		"bad wiring":     `{"id":"x","loads":[0.1],"curves":[{"label":"a","network":{"wiring":"ring"}}]}`,
+		"bad cluster":    `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"cluster":"blob"}}]}`,
+		"bad hotx":       `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"pattern":"hotspot","hotx":-1}}]}`,
+		"bad lengths":    `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"minlen":10,"maxlen":5}}]}`,
+		"bad depth":      `{"id":"x","loads":[0.1],"curves":[{"label":"a","bufferdepth":-1}]}`,
+		"bad k":          `{"id":"x","loads":[0.1],"curves":[{"label":"a","network":{"k":3}}]}`,
+	}
+	for name, j := range bad {
+		if _, err := ParseJSON([]byte(j)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseJSONDefaults(t *testing.T) {
+	e, err := ParseJSON([]byte(`{"id":"d","loads":[0.2],"curves":[{"label":"default"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Curves[0]
+	if c.Net.Kind != topology.TMIN || c.Net.K != 4 || c.Net.Stages != 3 {
+		t.Errorf("network defaults wrong: %+v", c.Net)
+	}
+	if c.Work.Cluster != Global || c.Work.Pattern.Kind != Uniform || c.Work.Lengths != nil {
+		t.Errorf("workload defaults wrong: %+v", c.Work)
+	}
+	if !strings.Contains(e.Title, "d") {
+		t.Error("title default wrong")
+	}
+}

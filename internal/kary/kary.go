@@ -1,0 +1,240 @@
+// Package kary implements radix-k digit arithmetic and the interstage
+// permutations used by multistage interconnection networks: the i-th
+// k-ary butterfly permutation (Definition 1 of Ni/Gui/Moore) and the
+// perfect k-shuffle (Definition 2), plus FirstDifference (Definition 3)
+// used by turnaround routing.
+//
+// Throughout the package an "address" is an integer in [0, k^n) viewed
+// as n radix-k digits x_{n-1} ... x_1 x_0, digit 0 being the least
+// significant.
+package kary
+
+import "fmt"
+
+// Radix describes a fixed radix-k, n-digit address space of k^n values.
+// The zero value is not usable; construct with New.
+type Radix struct {
+	k    int // radix (switch arity)
+	n    int // number of digits (stages)
+	size int // k^n
+}
+
+// New returns the address space of n radix-k digits. k must be at least
+// 2 and n at least 1, and k^n must fit in an int.
+func New(k, n int) (Radix, error) {
+	if k < 2 {
+		return Radix{}, fmt.Errorf("kary: radix k = %d, want >= 2", k)
+	}
+	if n < 1 {
+		return Radix{}, fmt.Errorf("kary: digits n = %d, want >= 1", n)
+	}
+	size := 1
+	for i := 0; i < n; i++ {
+		if size > (1<<62)/k {
+			return Radix{}, fmt.Errorf("kary: k^n overflows with k = %d, n = %d", k, n)
+		}
+		size *= k
+	}
+	return Radix{k: k, n: n, size: size}, nil
+}
+
+// MustNew is New but panics on error. Intended for constant-like
+// configurations in tests and examples.
+func MustNew(k, n int) Radix {
+	r, err := New(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// K returns the radix.
+func (r Radix) K() int { return r.k }
+
+// N returns the number of digits.
+func (r Radix) N() int { return r.n }
+
+// Size returns k^n, the number of addresses.
+func (r Radix) Size() int { return r.size }
+
+// Valid reports whether x is a valid address in this space.
+func (r Radix) Valid(x int) bool { return 0 <= x && x < r.size }
+
+// pow returns k^i for 0 <= i <= n.
+func (r Radix) pow(i int) int {
+	p := 1
+	for ; i > 0; i-- {
+		p *= r.k
+	}
+	return p
+}
+
+// Digit returns digit i of x (digit 0 is least significant).
+// It panics if i is out of [0, n) or x is not a valid address.
+func (r Radix) Digit(x, i int) int {
+	r.check(x, i)
+	return x / r.pow(i) % r.k
+}
+
+// SetDigit returns x with digit i replaced by v.
+func (r Radix) SetDigit(x, i, v int) int {
+	r.check(x, i)
+	if v < 0 || v >= r.k {
+		panic(fmt.Sprintf("kary: digit value %d out of range for k = %d", v, r.k))
+	}
+	p := r.pow(i)
+	return x - (x/p%r.k)*p + v*p
+}
+
+// SwapDigits returns x with digits i and j exchanged.
+func (r Radix) SwapDigits(x, i, j int) int {
+	di, dj := r.Digit(x, i), r.Digit(x, j)
+	return r.SetDigit(r.SetDigit(x, i, dj), j, di)
+}
+
+// Digits expands x into its n digits, least significant first.
+func (r Radix) Digits(x int) []int {
+	r.check(x, 0)
+	d := make([]int, r.n)
+	for i := 0; i < r.n; i++ {
+		d[i] = x % r.k
+		x /= r.k
+	}
+	return d
+}
+
+// FromDigits assembles an address from digits (least significant
+// first). len(d) must equal n and every digit must be in [0, k).
+func (r Radix) FromDigits(d []int) int {
+	if len(d) != r.n {
+		panic(fmt.Sprintf("kary: %d digits, want %d", len(d), r.n))
+	}
+	x := 0
+	for i := r.n - 1; i >= 0; i-- {
+		if d[i] < 0 || d[i] >= r.k {
+			panic(fmt.Sprintf("kary: digit %d value %d out of range for k = %d", i, d[i], r.k))
+		}
+		x = x*r.k + d[i]
+	}
+	return x
+}
+
+// Butterfly applies the i-th k-ary butterfly permutation β_i^k
+// (Definition 1): it exchanges digit 0 and digit i of x. β_0 is the
+// identity.
+func (r Radix) Butterfly(i, x int) int {
+	return r.SwapDigits(x, 0, i)
+}
+
+// Shuffle applies the perfect k-shuffle σ (Definition 2):
+// σ(x_{n-1} x_{n-2} ... x_1 x_0) = x_{n-2} ... x_1 x_0 x_{n-1},
+// a left rotation of the digit string.
+func (r Radix) Shuffle(x int) int {
+	r.check(x, 0)
+	top := x / r.pow(r.n-1)  // x_{n-1}
+	rest := x % r.pow(r.n-1) // x_{n-2} ... x_0
+	return rest*r.k + top
+}
+
+// Unshuffle applies the inverse perfect k-shuffle σ^{-1}, a right
+// rotation of the digit string.
+func (r Radix) Unshuffle(x int) int {
+	r.check(x, 0)
+	low := x % r.k
+	return low*r.pow(r.n-1) + x/r.k
+}
+
+// RotateLowRight right-rotates the low m digits of x: digit 0 moves
+// to position m-1 and digits m-1..1 shift down one place; digits at
+// and above m are unchanged. This is the inverse perfect shuffle
+// restricted to a low-order digit block, the building block of the
+// baseline interstage pattern. m must be in [1, n].
+func (r Radix) RotateLowRight(x, m int) int {
+	r.check(x, 0)
+	if m < 1 || m > r.n {
+		panic(fmt.Sprintf("kary: block size %d out of range [1, %d]", m, r.n))
+	}
+	if m == 1 {
+		return x
+	}
+	p := r.pow(m)
+	high := x / p * p
+	block := x % p
+	low := block % r.k
+	return high + low*r.pow(m-1) + block/r.k
+}
+
+// FirstDifference implements Definition 3: it returns the position t of
+// the leftmost (most significant) digit where s and d differ, and ok =
+// false when s == d (no such position).
+func (r Radix) FirstDifference(s, d int) (t int, ok bool) {
+	r.check(s, 0)
+	r.check(d, 0)
+	for i := r.n - 1; i >= 0; i-- {
+		if r.Digit(s, i) != r.Digit(d, i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Format renders x as its digit string, most significant first,
+// separated by nothing for k <= 10 and by '.' otherwise.
+func (r Radix) Format(x int) string {
+	d := r.Digits(x)
+	buf := make([]byte, 0, 2*r.n)
+	for i := r.n - 1; i >= 0; i-- {
+		if r.k > 10 && len(buf) > 0 {
+			buf = append(buf, '.')
+		}
+		if d[i] < 10 {
+			buf = append(buf, byte('0'+d[i]))
+		} else {
+			buf = append(buf, []byte(fmt.Sprintf("%d", d[i]))...)
+		}
+	}
+	return string(buf)
+}
+
+// DeleteDigit returns x with digit i removed, producing an (n-1)-digit
+// number: digits above i shift down one position. Used for switch
+// indexing in bidirectional MINs, where the stage-j switch of a port
+// address is the address with digit j deleted.
+func (r Radix) DeleteDigit(x, i int) int {
+	r.check(x, i)
+	p := r.pow(i)
+	low := x % p
+	high := x / (p * r.k)
+	return high*p + low
+}
+
+// InsertDigit is the inverse of DeleteDigit: it inserts digit value v
+// at position i of the (n-1)-digit number x, producing an n-digit
+// number.
+func (r Radix) InsertDigit(x, i, v int) int {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("kary: digit index %d out of range for n = %d", i, r.n))
+	}
+	if x < 0 || x >= r.size/r.k {
+		panic(fmt.Sprintf("kary: %d is not a valid %d-digit base-%d number", x, r.n-1, r.k))
+	}
+	if v < 0 || v >= r.k {
+		panic(fmt.Sprintf("kary: digit value %d out of range for k = %d", v, r.k))
+	}
+	p := r.pow(i)
+	low := x % p
+	high := x / p
+	return high*p*r.k + v*p + low
+}
+
+func (r Radix) check(x, i int) {
+	if r.size == 0 {
+		panic("kary: use of zero Radix; construct with New")
+	}
+	if x < 0 || x >= r.size {
+		panic(fmt.Sprintf("kary: address %d out of range [0, %d)", x, r.size))
+	}
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("kary: digit index %d out of range for n = %d", i, r.n))
+	}
+}

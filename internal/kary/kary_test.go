@@ -1,0 +1,298 @@
+package kary
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, n   int
+		wantOK bool
+	}{
+		{2, 1, true},
+		{2, 3, true},
+		{4, 3, true},
+		{8, 2, true},
+		{16, 4, true},
+		{1, 3, false},
+		{0, 3, false},
+		{-2, 3, false},
+		{2, 0, false},
+		{2, -1, false},
+		{2, 63, false}, // overflow
+	}
+	for _, c := range cases {
+		_, err := New(c.k, c.n)
+		if (err == nil) != c.wantOK {
+			t.Errorf("New(%d, %d): err = %v, want ok = %v", c.k, c.n, err, c.wantOK)
+		}
+	}
+}
+
+func TestSizeAndAccessors(t *testing.T) {
+	r := MustNew(4, 3)
+	if r.K() != 4 || r.N() != 3 || r.Size() != 64 {
+		t.Fatalf("got k=%d n=%d size=%d, want 4/3/64", r.K(), r.N(), r.Size())
+	}
+	if !r.Valid(0) || !r.Valid(63) || r.Valid(64) || r.Valid(-1) {
+		t.Error("Valid boundaries wrong")
+	}
+}
+
+func TestDigitRoundTrip(t *testing.T) {
+	for _, r := range []Radix{MustNew(2, 4), MustNew(4, 3), MustNew(8, 2)} {
+		for x := 0; x < r.Size(); x++ {
+			if got := r.FromDigits(r.Digits(x)); got != x {
+				t.Fatalf("k=%d n=%d: FromDigits(Digits(%d)) = %d", r.K(), r.N(), x, got)
+			}
+			for i := 0; i < r.N(); i++ {
+				if got := r.Digits(x)[i]; got != r.Digit(x, i) {
+					t.Fatalf("Digit(%d, %d) = %d, want %d", x, i, r.Digit(x, i), got)
+				}
+			}
+		}
+	}
+}
+
+func TestSetDigit(t *testing.T) {
+	r := MustNew(4, 3)
+	// 123 base 4 = 1*16 + 2*4 + 3 = 27
+	x := 27
+	if got := r.SetDigit(x, 0, 0); got != 24 {
+		t.Errorf("SetDigit(27, 0, 0) = %d, want 24", got)
+	}
+	if got := r.SetDigit(x, 2, 3); got != 27+2*16 {
+		t.Errorf("SetDigit(27, 2, 3) = %d, want %d", got, 27+2*16)
+	}
+	// Setting a digit to its current value is the identity.
+	for x := 0; x < r.Size(); x++ {
+		for i := 0; i < r.N(); i++ {
+			if got := r.SetDigit(x, i, r.Digit(x, i)); got != x {
+				t.Fatalf("SetDigit identity failed at x=%d i=%d: %d", x, i, got)
+			}
+		}
+	}
+}
+
+func TestSwapDigits(t *testing.T) {
+	r := MustNew(4, 3)
+	for x := 0; x < r.Size(); x++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				y := r.SwapDigits(x, i, j)
+				if r.Digit(y, i) != r.Digit(x, j) || r.Digit(y, j) != r.Digit(x, i) {
+					t.Fatalf("SwapDigits(%d, %d, %d) = %d: digits wrong", x, i, j, y)
+				}
+				if got := r.SwapDigits(y, i, j); got != x {
+					t.Fatalf("SwapDigits not involutive at x=%d i=%d j=%d", x, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestButterflyDefinition(t *testing.T) {
+	// β_i^k(x_{n-1}...x_{i+1} x_i x_{i-1}...x_1 x_0)
+	//   = x_{n-1}...x_{i+1} x_0 x_{i-1}...x_1 x_i
+	r := MustNew(4, 3)
+	for x := 0; x < r.Size(); x++ {
+		for i := 0; i < 3; i++ {
+			y := r.Butterfly(i, x)
+			for d := 0; d < 3; d++ {
+				want := r.Digit(x, d)
+				switch d {
+				case 0:
+					want = r.Digit(x, i)
+				case i:
+					want = r.Digit(x, 0)
+				}
+				if r.Digit(y, d) != want {
+					t.Fatalf("Butterfly(%d, %d): digit %d = %d, want %d", i, x, d, r.Digit(y, d), want)
+				}
+			}
+		}
+	}
+	// β_0 is the identity.
+	for x := 0; x < r.Size(); x++ {
+		if r.Butterfly(0, x) != x {
+			t.Fatalf("Butterfly(0, %d) != identity", x)
+		}
+	}
+}
+
+func TestShuffleDefinition(t *testing.T) {
+	// σ(x_{n-1} x_{n-2} ... x_1 x_0) = x_{n-2} ... x_1 x_0 x_{n-1}
+	r := MustNew(4, 3)
+	for x := 0; x < r.Size(); x++ {
+		y := r.Shuffle(x)
+		if r.Digit(y, 0) != r.Digit(x, 2) {
+			t.Fatalf("Shuffle(%d): digit 0 wrong", x)
+		}
+		if r.Digit(y, 1) != r.Digit(x, 0) || r.Digit(y, 2) != r.Digit(x, 1) {
+			t.Fatalf("Shuffle(%d): rotation wrong", x)
+		}
+		if r.Unshuffle(y) != x {
+			t.Fatalf("Unshuffle(Shuffle(%d)) != %d", x, x)
+		}
+	}
+}
+
+func TestShuffleExamples(t *testing.T) {
+	// Binary examples: σ(101) = 011, σ(110) = 101.
+	r := MustNew(2, 3)
+	if got := r.Shuffle(5); got != 3 {
+		t.Errorf("σ(101) = %03b, want 011", got)
+	}
+	if got := r.Shuffle(6); got != 5 {
+		t.Errorf("σ(110) = %03b, want 101", got)
+	}
+}
+
+func TestShuffleIsNButterfliesComposition(t *testing.T) {
+	// Applying σ n times is the identity (full digit rotation).
+	for _, r := range []Radix{MustNew(2, 4), MustNew(4, 3)} {
+		for x := 0; x < r.Size(); x++ {
+			y := x
+			for i := 0; i < r.N(); i++ {
+				y = r.Shuffle(y)
+			}
+			if y != x {
+				t.Fatalf("σ^%d(%d) = %d, want identity", r.N(), x, y)
+			}
+		}
+	}
+}
+
+func TestFirstDifference(t *testing.T) {
+	r := MustNew(2, 3)
+	// The paper's example (Fig. 8): FirstDifference(001, 101) = 2.
+	if tt, ok := r.FirstDifference(1, 5); !ok || tt != 2 {
+		t.Errorf("FirstDifference(001, 101) = %d, %v; want 2, true", tt, ok)
+	}
+	if _, ok := r.FirstDifference(5, 5); ok {
+		t.Error("FirstDifference(x, x) should report ok = false")
+	}
+	r4 := MustNew(4, 3)
+	cases := []struct {
+		s, d, want int
+	}{
+		{0x00, 1, 0}, // differ in digit 0 only
+		{0, 4, 1},    // 000 vs 010
+		{0, 16, 2},   // 000 vs 100
+		{21, 22, 0},  // 111 vs 112
+		{21, 37, 2},  // 111 vs 211
+		{21, 25, 1},  // 111 vs 121
+	}
+	for _, c := range cases {
+		got, ok := r4.FirstDifference(c.s, c.d)
+		if !ok || got != c.want {
+			t.Errorf("FirstDifference(%s, %s) = %d, want %d", r4.Format(c.s), r4.Format(c.d), got, c.want)
+		}
+	}
+}
+
+func TestFirstDifferenceSymmetric(t *testing.T) {
+	r := MustNew(4, 3)
+	for s := 0; s < r.Size(); s++ {
+		for d := 0; d < r.Size(); d++ {
+			ts, oks := r.FirstDifference(s, d)
+			td, okd := r.FirstDifference(d, s)
+			if oks != okd || ts != td {
+				t.Fatalf("FirstDifference not symmetric at (%d, %d)", s, d)
+			}
+			if oks {
+				// Digits above t agree; digit t differs.
+				if r.Digit(s, ts) == r.Digit(d, ts) {
+					t.Fatalf("digit %d of %d and %d should differ", ts, s, d)
+				}
+				for i := ts + 1; i < r.N(); i++ {
+					if r.Digit(s, i) != r.Digit(d, i) {
+						t.Fatalf("digit %d of %d and %d should agree", i, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeleteInsertDigit(t *testing.T) {
+	r := MustNew(4, 3)
+	for x := 0; x < r.Size(); x++ {
+		for i := 0; i < r.N(); i++ {
+			v := r.Digit(x, i)
+			del := r.DeleteDigit(x, i)
+			if got := r.InsertDigit(del, i, v); got != x {
+				t.Fatalf("InsertDigit(DeleteDigit(%d, %d), %d, %d) = %d", x, i, i, v, got)
+			}
+		}
+	}
+	// Explicit example: delete digit 1 of 123_4 (= 27) gives 13_4 (= 7).
+	if got := r.DeleteDigit(27, 1); got != 7 {
+		t.Errorf("DeleteDigit(123_4, 1) = %d, want 7 (13_4)", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := MustNew(4, 3)
+	if got := r.Format(27); got != "123" {
+		t.Errorf("Format(27) = %q, want 123", got)
+	}
+	r16 := MustNew(16, 2)
+	if got := r16.Format(16*15 + 11); got != "15.11" {
+		t.Errorf("Format(251) = %q, want 15.11", got)
+	}
+}
+
+func TestQuickDigitProperties(t *testing.T) {
+	r := MustNew(8, 4)
+	f := func(raw uint16, idx uint8, val uint8) bool {
+		x := int(raw) % r.Size()
+		i := int(idx) % r.N()
+		v := int(val) % r.K()
+		y := r.SetDigit(x, i, v)
+		if r.Digit(y, i) != v {
+			return false
+		}
+		for j := 0; j < r.N(); j++ {
+			if j != i && r.Digit(y, j) != r.Digit(x, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickButterflyInvolution(t *testing.T) {
+	r := MustNew(4, 4)
+	f := func(raw uint16, idx uint8) bool {
+		x := int(raw) % r.Size()
+		i := int(idx) % r.N()
+		return r.Butterfly(i, r.Butterfly(i, x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := MustNew(4, 3)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Digit out of range", func() { r.Digit(64, 0) })
+	mustPanic("Digit index", func() { r.Digit(0, 3) })
+	mustPanic("SetDigit value", func() { r.SetDigit(0, 0, 4) })
+	mustPanic("FromDigits length", func() { r.FromDigits([]int{1, 2}) })
+	mustPanic("InsertDigit range", func() { r.InsertDigit(16, 0, 0) })
+	mustPanic("zero Radix", func() { var z Radix; z.Digit(0, 0) })
+}

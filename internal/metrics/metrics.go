@@ -1,0 +1,220 @@
+// Package metrics turns raw engine statistics into the quantities the
+// paper reports — average communication latency and normalized
+// sustainable network throughput — and renders latency/throughput
+// series as CSV or aligned text tables for the figure harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"minsim/internal/engine"
+)
+
+// FlitsPerMillisecond is the paper's channel bandwidth: all channels
+// transmit 20 flits per millisecond, so one simulator cycle (one flit
+// time) is 0.05 ms.
+const FlitsPerMillisecond = 20.0
+
+// CyclesToMilliseconds converts a duration in cycles to milliseconds
+// at the paper's channel bandwidth.
+func CyclesToMilliseconds(cycles float64) float64 {
+	return cycles / FlitsPerMillisecond
+}
+
+// MillisecondsToCycles converts the other way.
+func MillisecondsToCycles(ms float64) float64 {
+	return ms * FlitsPerMillisecond
+}
+
+// Point is one measurement of a latency/throughput curve.
+type Point struct {
+	Offered float64 // nominal offered load, flits/node/cycle
+	// OfferedMeasured is the load the sources actually generated in
+	// the measurement window (lower than Offered for permutation
+	// patterns with fixed points or silent clusters).
+	OfferedMeasured float64
+	Throughput      float64 // delivered flits/node/cycle
+	LatencyCyc      float64 // mean latency, cycles
+	LatencyMs       float64 // mean latency, milliseconds
+	LatencyP0       float64 // min latency, cycles
+	LatencyP100     float64 // max latency, cycles
+	StdDev          float64 // latency standard deviation, cycles
+	Messages        int64   // messages measured
+	Sustainable     bool    // no source queue exceeded the watermark
+}
+
+// FromStats builds a Point from engine statistics.
+func FromStats(offered float64, nodes int, st engine.Stats) Point {
+	p := Point{
+		Offered:         offered,
+		OfferedMeasured: st.OfferedMeasured(nodes),
+		Throughput:      st.Throughput(nodes),
+		LatencyCyc:      st.MeanLatency(),
+		Messages:        st.MeasuredMsgs,
+		Sustainable:     !st.QueueExceeded,
+	}
+	p.LatencyMs = CyclesToMilliseconds(p.LatencyCyc)
+	if st.MeasuredMsgs > 0 {
+		p.LatencyP0 = float64(st.LatencyMin)
+		p.LatencyP100 = float64(st.LatencyMax)
+		mean := p.LatencyCyc
+		variance := st.LatencySumSq/float64(st.MeasuredMsgs) - mean*mean
+		if variance > 0 {
+			p.StdDev = math.Sqrt(variance)
+		}
+	}
+	return p
+}
+
+// Series is a labeled curve (one network under one workload).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// SaturationThroughput returns the highest sustainable measured
+// throughput of the series — the paper's "maximum sustainable network
+// throughput". ok is false if no point was sustainable.
+func (s Series) SaturationThroughput() (float64, bool) {
+	best, ok := 0.0, false
+	for _, p := range s.Points {
+		if p.Sustainable && p.Throughput > best {
+			best, ok = p.Throughput, true
+		}
+	}
+	return best, ok
+}
+
+// PeakThroughput returns the highest delivered throughput of the
+// series regardless of sustainability — the relevant comparison when
+// a workload (e.g. a hot spot) makes every offered load beyond a
+// structural bound unsustainable yet the networks still differ in how
+// much traffic they deliver while congested.
+func (s Series) PeakThroughput() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}
+
+// LatencyAt interpolates the series' latency (cycles) at a target
+// throughput; ok is false when the target is outside the measured
+// sustainable range.
+func (s Series) LatencyAt(throughput float64) (float64, bool) {
+	var lo, hi *Point
+	for i := range s.Points {
+		p := &s.Points[i]
+		if !p.Sustainable {
+			continue
+		}
+		if p.Throughput <= throughput && (lo == nil || p.Throughput > lo.Throughput) {
+			lo = p
+		}
+		if p.Throughput >= throughput && (hi == nil || p.Throughput < hi.Throughput) {
+			hi = p
+		}
+	}
+	if lo == nil || hi == nil {
+		return 0, false
+	}
+	if hi.Throughput == lo.Throughput {
+		return lo.LatencyCyc, true
+	}
+	f := (throughput - lo.Throughput) / (hi.Throughput - lo.Throughput)
+	return lo.LatencyCyc + f*(hi.LatencyCyc-lo.LatencyCyc), true
+}
+
+// ConfidenceInterval computes a normal-approximation confidence
+// interval for the steady-state mean from batch means (the standard
+// batch-means method): mean ± z * s / sqrt(B), with z = 1.96 for 95%.
+// It needs at least two batches; with fewer it returns the point
+// estimate for both bounds and ok = false.
+func ConfidenceInterval(batchMeans []float64, z float64) (lo, hi float64, ok bool) {
+	n := len(batchMeans)
+	if n == 0 {
+		return 0, 0, false
+	}
+	mean := 0.0
+	for _, v := range batchMeans {
+		mean += v
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, mean, false
+	}
+	ss := 0.0
+	for _, v := range batchMeans {
+		d := v - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / float64(n-1))
+	half := z * s / math.Sqrt(float64(n))
+	return mean - half, mean + half, true
+}
+
+// Figure is a set of series reproducing one paper figure panel.
+type Figure struct {
+	ID     string // e.g. "fig18a"
+	Title  string
+	Series []Series
+}
+
+// CSV renders the figure as comma-separated values with a header.
+func (f Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("figure,series,offered,throughput,latency_cycles,latency_ms,latency_stddev,messages,sustainable\n")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%s,%s,%.4f,%.4f,%.1f,%.3f,%.1f,%d,%t\n",
+				f.ID, s.Label, p.Offered, p.Throughput, p.LatencyCyc, p.LatencyMs, p.StdDev, p.Messages, p.Sustainable)
+		}
+	}
+	return sb.String()
+}
+
+// Table renders the figure as an aligned text table, one block per
+// series, matching the axes of the paper's plots (normalized
+// throughput vs average latency).
+func (f Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "  %s\n", s.Label)
+		fmt.Fprintf(&sb, "    %-10s %-12s %-14s %-12s %s\n", "offered", "throughput", "latency(cyc)", "latency(ms)", "sustainable")
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "    %-10.3f %-12.4f %-14.1f %-12.3f %t\n",
+				p.Offered, p.Throughput, p.LatencyCyc, p.LatencyMs, p.Sustainable)
+		}
+		if sat, ok := s.SaturationThroughput(); ok {
+			fmt.Fprintf(&sb, "    max sustainable throughput: %.1f%% of ejection capacity\n", 100*sat)
+		} else {
+			sb.WriteString("    no sustainable point measured\n")
+		}
+	}
+	return sb.String()
+}
+
+// Summary gives one line per series: the saturation throughput and
+// the low-load latency, which together characterize the curve shape.
+func (f Figure) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		sat, ok := s.SaturationThroughput()
+		base := math.NaN()
+		if len(s.Points) > 0 {
+			base = s.Points[0].LatencyCyc
+		}
+		if ok {
+			fmt.Fprintf(&sb, "  %-28s saturation %5.1f%%  peak %5.1f%%  base latency %7.1f cycles\n", s.Label, 100*sat, 100*s.PeakThroughput(), base)
+		} else {
+			fmt.Fprintf(&sb, "  %-28s saturation   n/a  peak %5.1f%%  base latency %7.1f cycles\n", s.Label, 100*s.PeakThroughput(), base)
+		}
+	}
+	return sb.String()
+}

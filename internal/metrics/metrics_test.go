@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"minsim/internal/engine"
+)
+
+func TestConversions(t *testing.T) {
+	if got := CyclesToMilliseconds(20); got != 1 {
+		t.Errorf("20 cycles = %v ms, want 1", got)
+	}
+	if got := MillisecondsToCycles(2.5); got != 50 {
+		t.Errorf("2.5 ms = %v cycles, want 50", got)
+	}
+	if got := MillisecondsToCycles(CyclesToMilliseconds(123)); math.Abs(got-123) > 1e-9 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	st := engine.Stats{
+		MeasuredCycles: 1000,
+		DeliveredFlits: 32000,
+		MeasuredMsgs:   4,
+		LatencySum:     400,
+		LatencySumSq:   41000, // latencies e.g. 90,95,105,110
+		LatencyMin:     90,
+		LatencyMax:     110,
+		QueueExceeded:  false,
+	}
+	p := FromStats(0.6, 64, st)
+	if math.Abs(p.Throughput-0.5) > 1e-9 {
+		t.Errorf("throughput %v, want 0.5", p.Throughput)
+	}
+	if p.LatencyCyc != 100 {
+		t.Errorf("latency %v, want 100", p.LatencyCyc)
+	}
+	if p.LatencyMs != 5 {
+		t.Errorf("latency %v ms, want 5", p.LatencyMs)
+	}
+	if p.LatencyP0 != 90 || p.LatencyP100 != 110 {
+		t.Errorf("min/max %v/%v", p.LatencyP0, p.LatencyP100)
+	}
+	wantStd := math.Sqrt(41000.0/4 - 100*100)
+	if math.Abs(p.StdDev-wantStd) > 1e-9 {
+		t.Errorf("stddev %v, want %v", p.StdDev, wantStd)
+	}
+	if !p.Sustainable {
+		t.Error("should be sustainable")
+	}
+	p2 := FromStats(0.6, 64, engine.Stats{QueueExceeded: true, MeasuredCycles: 1})
+	if p2.Sustainable {
+		t.Error("exceeded queue should be unsustainable")
+	}
+	if p2.LatencyCyc != 0 || p2.StdDev != 0 {
+		t.Error("no-message stats should zero latency fields")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	// Identical batches give a zero-width interval.
+	lo, hi, ok := ConfidenceInterval([]float64{10, 10, 10, 10}, 1.96)
+	if !ok || lo != 10 || hi != 10 {
+		t.Errorf("constant batches: [%v, %v] ok=%v", lo, hi, ok)
+	}
+	// Known spread: batches {8, 12}: mean 10, s = 2*sqrt(2)... s =
+	// sqrt(((8-10)^2+(12-10)^2)/1) = sqrt(8) ≈ 2.828; half-width =
+	// 1.96 * 2.828 / sqrt(2) = 3.92.
+	lo, hi, ok = ConfidenceInterval([]float64{8, 12}, 1.96)
+	if !ok {
+		t.Fatal("two batches should be ok")
+	}
+	if math.Abs(lo-(10-3.92)) > 1e-9 || math.Abs(hi-(10+3.92)) > 1e-9 {
+		t.Errorf("interval [%v, %v], want [6.08, 13.92]", lo, hi)
+	}
+	// Degenerate inputs.
+	if _, _, ok := ConfidenceInterval(nil, 1.96); ok {
+		t.Error("empty batches should not be ok")
+	}
+	if lo, hi, ok := ConfidenceInterval([]float64{7}, 1.96); ok || lo != 7 || hi != 7 {
+		t.Error("single batch should return point estimate, not ok")
+	}
+}
+
+func sampleSeries() Series {
+	return Series{
+		Label: "TMIN",
+		Points: []Point{
+			{Offered: 0.1, Throughput: 0.1, LatencyCyc: 500, Sustainable: true},
+			{Offered: 0.3, Throughput: 0.3, LatencyCyc: 700, Sustainable: true},
+			{Offered: 0.5, Throughput: 0.45, LatencyCyc: 1500, Sustainable: true},
+			{Offered: 0.7, Throughput: 0.47, LatencyCyc: 9000, Sustainable: false},
+		},
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	s := sampleSeries()
+	sat, ok := s.SaturationThroughput()
+	if !ok || sat != 0.45 {
+		t.Errorf("saturation %v, %v; want 0.45, true", sat, ok)
+	}
+	empty := Series{Points: []Point{{Throughput: 0.9, Sustainable: false}}}
+	if _, ok := empty.SaturationThroughput(); ok {
+		t.Error("unsustainable-only series reported a saturation point")
+	}
+}
+
+func TestPeakThroughput(t *testing.T) {
+	s := sampleSeries()
+	// Peak includes the unsustainable point at 0.47.
+	if got := s.PeakThroughput(); got != 0.47 {
+		t.Errorf("PeakThroughput = %v, want 0.47", got)
+	}
+	if got := (Series{}).PeakThroughput(); got != 0 {
+		t.Errorf("empty series peak = %v", got)
+	}
+}
+
+func TestLatencyAt(t *testing.T) {
+	s := sampleSeries()
+	// Exact point.
+	if lat, ok := s.LatencyAt(0.3); !ok || lat != 700 {
+		t.Errorf("LatencyAt(0.3) = %v, %v", lat, ok)
+	}
+	// Interpolated halfway between 0.3 and 0.45.
+	lat, ok := s.LatencyAt(0.375)
+	if !ok || math.Abs(lat-1100) > 1e-9 {
+		t.Errorf("LatencyAt(0.375) = %v, want 1100", lat)
+	}
+	// Beyond the sustainable range.
+	if _, ok := s.LatencyAt(0.6); ok {
+		t.Error("LatencyAt beyond range should fail")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := Figure{ID: "p", Title: "plot test", Series: []Series{
+		sampleSeries(),
+		{Label: "DMIN", Points: []Point{
+			{Throughput: 0.2, LatencyCyc: 520, Sustainable: true},
+			{Throughput: 0.5, LatencyCyc: 900, Sustainable: true},
+		}},
+	}}
+	out := f.ASCIIPlot(40, 10)
+	for _, want := range []string{"p: plot test", "o = TMIN", "x = DMIN", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs appear in the grid.
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("glyphs missing from grid")
+	}
+	// Degenerate inputs.
+	empty := Figure{ID: "e"}
+	if !strings.Contains(empty.ASCIIPlot(40, 10), "nothing to plot") {
+		t.Error("empty figure should say so")
+	}
+	one := Figure{ID: "one", Series: []Series{{Label: "a", Points: []Point{{Throughput: 0.1, LatencyCyc: 100}}}}}
+	if out := one.ASCIIPlot(5, 3); !strings.Contains(out, "one") {
+		t.Error("single point plot failed")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	f := Figure{ID: "fig18a", Title: "Four networks, global uniform", Series: []Series{sampleSeries()}}
+	csv := f.CSV()
+	if !strings.Contains(csv, "fig18a,TMIN,0.1000") {
+		t.Errorf("CSV missing data row:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "figure,series,") {
+		t.Error("CSV missing header")
+	}
+	if lines := strings.Count(csv, "\n"); lines != 5 {
+		t.Errorf("CSV has %d lines, want 5", lines)
+	}
+	tab := f.Table()
+	if !strings.Contains(tab, "max sustainable throughput: 45.0%") {
+		t.Errorf("Table missing saturation line:\n%s", tab)
+	}
+	sum := f.Summary()
+	if !strings.Contains(sum, "TMIN") || !strings.Contains(sum, "45.0%") {
+		t.Errorf("Summary wrong:\n%s", sum)
+	}
+	// A series with no sustainable points renders without panicking.
+	f2 := Figure{ID: "x", Series: []Series{{Label: "none", Points: []Point{{Sustainable: false}}}}}
+	if !strings.Contains(f2.Table(), "no sustainable point") {
+		t.Error("Table should note missing sustainable points")
+	}
+	if !strings.Contains(f2.Summary(), "n/a") {
+		t.Error("Summary should note missing saturation")
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesGlyphs mark the points of up to ten series in ASCII plots.
+var seriesGlyphs = []byte("ox+*#@%&=~")
+
+// ASCIIPlot renders the figure as a text scatter plot with throughput
+// (delivered flits/node/cycle) on the x axis and mean latency
+// (cycles, log scale) on the y axis — the same axes as the paper's
+// figures, viewable in a terminal. width and height are the plot
+// area's interior dimensions in characters; sensible values are
+// clamped in.
+func (f Figure) ASCIIPlot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Collect the plotted range.
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	maxThr := 0.0
+	points := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.LatencyCyc <= 0 {
+				continue
+			}
+			points++
+			minLat = math.Min(minLat, p.LatencyCyc)
+			maxLat = math.Max(maxLat, p.LatencyCyc)
+			maxThr = math.Max(maxThr, p.Throughput)
+		}
+	}
+	if points == 0 || maxThr == 0 {
+		return fmt.Sprintf("%s: nothing to plot\n", f.ID)
+	}
+	if maxLat == minLat {
+		maxLat = minLat * 1.1
+	}
+	lo, hi := math.Log(minLat), math.Log(maxLat)
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			if p.LatencyCyc <= 0 {
+				continue
+			}
+			x := int(p.Throughput / maxThr * float64(width-1))
+			y := int((math.Log(p.LatencyCyc) - lo) / (hi - lo) * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "latency (cycles, log scale) vs throughput (flits/node/cycle)\n")
+	topLabel := fmt.Sprintf("%.0f", maxLat)
+	botLabel := fmt.Sprintf("%.0f", minLat)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for y, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if y == 0 {
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		}
+		if y == height-1 {
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  0%*s%.3f\n", strings.Repeat(" ", labelW), width-6, "", maxThr)
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "  %c = %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Label)
+	}
+	return sb.String()
+}

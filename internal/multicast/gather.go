@@ -1,0 +1,96 @@
+package multicast
+
+import (
+	"fmt"
+
+	"minsim/internal/engine"
+	"minsim/internal/topology"
+)
+
+// Gather is the dual collective of multicast: every source holds an
+// L-flit contribution, and the tree is used in reverse — a node sends
+// its (combined) message to its tree parent only after receiving the
+// messages of all its tree children. With fixed-size combining (as in
+// a max/sum reduction) every transfer is L flits. The gather latency
+// is the cycle at which the root has combined every contribution.
+//
+// The same tree shapes apply: separate addressing means everyone
+// sends straight to the root (serialized by the root's single
+// ejection channel), binomial and dimension-ordered trees combine in
+// Θ(log2 m) rounds.
+
+// GatherResult reports one simulated gather.
+type GatherResult struct {
+	Algorithm string
+	Latency   int64 // cycle at which the root holds the combined result
+	Unicasts  int
+	MaxDepth  int
+}
+
+// Gather simulates the reduction over the tree built by alg for the
+// given root and sources (the contributing nodes, excluding the
+// root). msgLen is the fixed combined-message length in flits.
+func Gather(net *topology.Network, alg Algorithm, root int, sources []int, msgLen int) (GatherResult, error) {
+	tree, err := alg.Tree(net, root, sources)
+	if err != nil {
+		return GatherResult{}, err
+	}
+	if err := tree.Validate(sources); err != nil {
+		return GatherResult{}, fmt.Errorf("multicast: %s built an invalid tree: %w", alg.Name(), err)
+	}
+	if msgLen <= 0 {
+		return GatherResult{}, fmt.Errorf("multicast: message length %d", msgLen)
+	}
+
+	// Invert the tree: child -> parent; count children per node.
+	parent := map[int]int{}
+	pending := map[int]int{} // children still to arrive
+	for p, children := range tree.Children {
+		for _, c := range children {
+			parent[c] = p
+		}
+		pending[p] += len(children)
+	}
+
+	var completed int64 = -1
+	var e *engine.Engine
+	e, err = engine.New(engine.Config{
+		Net:  net,
+		Seed: 13,
+		OnDeliver: func(m engine.Message, at int64) {
+			node := m.Dst
+			pending[node]--
+			if pending[node] > 0 {
+				return
+			}
+			// All children arrived; forward upward or finish.
+			if node == tree.Root {
+				completed = at
+				return
+			}
+			e.Offer(engine.Message{Src: node, Dst: parent[node], Len: msgLen, Created: at})
+		},
+	})
+	if err != nil {
+		return GatherResult{}, err
+	}
+	// Leaves (nodes with no pending children) start immediately.
+	for _, src := range sources {
+		if pending[src] == 0 {
+			e.Offer(engine.Message{Src: src, Dst: parent[src], Len: msgLen})
+		}
+	}
+	budget := int64(tree.Size()+1) * int64(msgLen+2*net.Stages+4) * 4
+	if !e.RunUntilDrained(budget) {
+		return GatherResult{}, fmt.Errorf("multicast: gather via %s did not complete within %d cycles", alg.Name(), budget)
+	}
+	if completed < 0 {
+		return GatherResult{}, fmt.Errorf("multicast: root never received all contributions")
+	}
+	return GatherResult{
+		Algorithm: alg.Name(),
+		Latency:   completed,
+		Unicasts:  tree.Size(),
+		MaxDepth:  depth(tree),
+	}, nil
+}

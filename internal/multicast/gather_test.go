@@ -1,0 +1,85 @@
+package multicast
+
+import "testing"
+
+func TestGatherCorrectness(t *testing.T) {
+	net := bmin(t)
+	sources := []int{1, 5, 9, 17, 33, 48, 63}
+	for _, alg := range algorithms() {
+		res, err := Gather(net, alg, 0, sources, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.Unicasts != len(sources) {
+			t.Errorf("%s: %d unicasts, want %d", alg.Name(), res.Unicasts, len(sources))
+		}
+		if res.Latency <= 64 {
+			t.Errorf("%s: latency %d impossibly fast", alg.Name(), res.Latency)
+		}
+	}
+}
+
+// TestGatherTreeBeatsFlat: an all-to-root gather of many sources is
+// dominated by the root's single ejection channel under separate
+// addressing; the combining trees beat it decisively.
+func TestGatherTreeBeatsFlat(t *testing.T) {
+	net := bmin(t)
+	var sources []int
+	for i := 1; i < net.Nodes; i++ {
+		sources = append(sources, i)
+	}
+	const L = 128
+	flat, err := Gather(net, SeparateAddressing{}, 0, sources, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Gather(net, SubtreeAware{}, 0, sources, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat: 63 x 128 flits through one ejection channel >= 8064 cycles.
+	if flat.Latency < int64(len(sources))*L {
+		t.Errorf("flat gather %d cycles beats the ejection serialization bound %d",
+			flat.Latency, int64(len(sources))*L)
+	}
+	if tree.Latency*3 > flat.Latency {
+		t.Errorf("combining tree %d vs flat %d: expected at least 3x win", tree.Latency, flat.Latency)
+	}
+}
+
+// TestGatherMatchesMulticastDuality: for the same tree, gather and
+// multicast latencies are comparable (the tree is traversed in
+// opposite directions with the same per-edge cost).
+func TestGatherMatchesMulticastDuality(t *testing.T) {
+	net := bmin(t)
+	var members []int
+	for i := 1; i < 32; i++ {
+		members = append(members, i*2)
+	}
+	const L = 96
+	mc, err := Run(net, Binomial{}, 0, members, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gather(net, Binomial{}, 0, members, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(g.Latency) / float64(mc.Latency)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("gather %d vs multicast %d: duality ratio %v outside [0.5, 2]", g.Latency, mc.Latency, ratio)
+	}
+}
+
+func TestGatherErrors(t *testing.T) {
+	net := tmin(t)
+	if _, err := Gather(net, Binomial{}, 0, nil, 64); err == nil {
+		t.Error("empty sources accepted")
+	}
+	if _, err := Gather(net, Binomial{}, 0, []int{1}, 0); err == nil {
+		t.Error("zero-length gather accepted")
+	}
+	if _, err := Gather(net, Binomial{}, 0, []int{0}, 64); err == nil {
+		t.Error("root as source accepted")
+	}
+}

@@ -1,0 +1,301 @@
+// Package multicast implements software (unicast-based) multicast on
+// wormhole MINs — the paper's closing future-work item, following its
+// reference to Xu/Gui/Ni, "Optimal Software Multicast in
+// Wormhole-Routed Multistage Networks" (Supercomputing '94).
+//
+// In software multicast a message is delivered from a root node to a
+// set of destinations via a tree of ordinary unicasts: a node may
+// forward the message only after fully receiving it (store-and-
+// forward at the message level, wormhole below). The multicast
+// latency is the cycle at which the last destination holds the
+// message. Three tree builders are provided:
+//
+//   - SeparateAddressing: the root unicasts to every destination in
+//     turn. One-port injection serializes the sends, giving Θ(m·L)
+//     latency for m destinations of length-L messages.
+//   - Binomial: recursive doubling over the destination list; every
+//     informed node forwards in parallel, Θ(log2(m)·L) rounds, but the
+//     sender/receiver pairs ignore the topology and may contend.
+//   - SubtreeAware: binomial-depth recursive halving over the sorted
+//     destination addresses (the U-min construction of the
+//     Supercomputing '94 paper): each round splits a contiguous
+//     address range in half, so the simultaneous unicasts of a round
+//     connect disjoint address ranges — disjoint fat-tree subtrees on
+//     a BMIN — and avoid channel contention while keeping the
+//     one-port-optimal Θ(log2 m) round count.
+package multicast
+
+import (
+	"fmt"
+	"sort"
+
+	"minsim/internal/engine"
+	"minsim/internal/topology"
+)
+
+// Tree is a multicast forwarding tree: Children[n] lists the nodes n
+// unicasts the message to, in send order.
+type Tree struct {
+	Root     int
+	Children map[int][]int
+}
+
+// Validate checks that the tree is a well-formed multicast schedule
+// covering exactly the destination set: every destination is reached
+// once, no node receives twice, only informed nodes forward.
+func (t Tree) Validate(dests []int) error {
+	want := make(map[int]bool, len(dests))
+	for _, d := range dests {
+		if d == t.Root {
+			return fmt.Errorf("multicast: root %d among destinations", d)
+		}
+		if want[d] {
+			return fmt.Errorf("multicast: duplicate destination %d", d)
+		}
+		want[d] = true
+	}
+	seen := map[int]bool{t.Root: true}
+	frontier := []int{t.Root}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range t.Children[n] {
+			if seen[c] {
+				return fmt.Errorf("multicast: node %d reached twice", c)
+			}
+			if !want[c] {
+				return fmt.Errorf("multicast: node %d is not a destination", c)
+			}
+			seen[c] = true
+			frontier = append(frontier, c)
+		}
+	}
+	for d := range want {
+		if !seen[d] {
+			return fmt.Errorf("multicast: destination %d unreached", d)
+		}
+	}
+	for n := range t.Children {
+		if !seen[n] {
+			return fmt.Errorf("multicast: uninformed node %d forwards", n)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of receivers in the tree.
+func (t Tree) Size() int {
+	total := 0
+	for _, c := range t.Children {
+		total += len(c)
+	}
+	return total
+}
+
+// Algorithm builds multicast trees.
+type Algorithm interface {
+	Name() string
+	// Tree produces the forwarding tree for the root and destination
+	// set on the given network. Destinations must not contain the
+	// root or duplicates.
+	Tree(net *topology.Network, root int, dests []int) (Tree, error)
+}
+
+// SeparateAddressing sends every unicast from the root.
+type SeparateAddressing struct{}
+
+// Name implements Algorithm.
+func (SeparateAddressing) Name() string { return "separate-addressing" }
+
+// Tree implements Algorithm.
+func (SeparateAddressing) Tree(net *topology.Network, root int, dests []int) (Tree, error) {
+	if err := checkDests(net, root, dests); err != nil {
+		return Tree{}, err
+	}
+	t := Tree{Root: root, Children: map[int][]int{}}
+	t.Children[root] = append([]int(nil), dests...)
+	return t, nil
+}
+
+// Binomial implements recursive doubling: in round r, each of the
+// 2^{r-1} informed nodes forwards to one new node, halving the
+// uninformed set each round.
+type Binomial struct{}
+
+// Name implements Algorithm.
+func (Binomial) Name() string { return "binomial" }
+
+// Tree implements Algorithm.
+func (Binomial) Tree(net *topology.Network, root int, dests []int) (Tree, error) {
+	if err := checkDests(net, root, dests); err != nil {
+		return Tree{}, err
+	}
+	t := Tree{Root: root, Children: map[int][]int{}}
+	// members[0] is the root; the rest are destinations in given order.
+	members := append([]int{root}, dests...)
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		// members[lo] holds the message and is responsible for
+		// members[lo+1 .. hi]; it sends to the midpoint and recurses.
+		if lo+1 > hi {
+			return
+		}
+		mid := (lo + hi + 1) / 2
+		t.Children[members[lo]] = append(t.Children[members[lo]], members[mid])
+		split(mid, hi)
+		split(lo, mid-1)
+	}
+	split(0, len(members)-1)
+	return t, nil
+}
+
+// SubtreeAware is the dimension-ordered (U-min style) multicast: the
+// participants are arranged in ascending address order starting at
+// the root, and each round the holder of a contiguous range unicasts
+// to the first node of the range's upper half, then both halve
+// recursively. Rounds are binomial (ceil(log2(m+1)) of them), and
+// because every round's transfers connect disjoint contiguous address
+// ranges, on a BMIN they ride disjoint fat-tree subtrees and do not
+// contend — the property the Supercomputing '94 construction proves
+// optimal for one-port wormhole MINs.
+type SubtreeAware struct{}
+
+// Name implements Algorithm.
+func (SubtreeAware) Name() string { return "subtree-aware" }
+
+// Tree implements Algorithm.
+func (SubtreeAware) Tree(net *topology.Network, root int, dests []int) (Tree, error) {
+	if err := checkDests(net, root, dests); err != nil {
+		return Tree{}, err
+	}
+	t := Tree{Root: root, Children: map[int][]int{}}
+	// Sort destinations and rotate so the sequence starts at the root
+	// and proceeds in ascending address order, wrapping around — the
+	// "dimension order" relabeling of the U-min algorithm.
+	ds := append([]int(nil), dests...)
+	sort.Ints(ds)
+	rot := 0
+	for rot < len(ds) && ds[rot] < root {
+		rot++
+	}
+	members := make([]int, 0, len(ds)+1)
+	members = append(members, root)
+	members = append(members, ds[rot:]...)
+	members = append(members, ds[:rot]...)
+
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if lo+1 > hi {
+			return
+		}
+		mid := (lo + hi + 1) / 2
+		t.Children[members[lo]] = append(t.Children[members[lo]], members[mid])
+		split(mid, hi)
+		split(lo, mid-1)
+	}
+	split(0, len(members)-1)
+	return t, nil
+}
+
+func checkDests(net *topology.Network, root int, dests []int) error {
+	if root < 0 || root >= net.Nodes {
+		return fmt.Errorf("multicast: root %d out of range", root)
+	}
+	if len(dests) == 0 {
+		return fmt.Errorf("multicast: empty destination set")
+	}
+	seen := map[int]bool{}
+	for _, d := range dests {
+		if d < 0 || d >= net.Nodes {
+			return fmt.Errorf("multicast: destination %d out of range", d)
+		}
+		if d == root {
+			return fmt.Errorf("multicast: root %d among destinations", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("multicast: duplicate destination %d", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Result reports one simulated multicast.
+type Result struct {
+	Algorithm string
+	Latency   int64 // cycles from start until the last destination holds the message
+	Unicasts  int   // messages sent
+	MaxDepth  int   // tree depth (forwarding generations)
+}
+
+// Run simulates the multicast of an L-flit message over the tree on
+// an otherwise idle network and returns its completion latency. Each
+// node forwards only after its own copy fully arrived (software
+// multicast), and sends its forwards back-to-back through its single
+// injection port.
+func Run(net *topology.Network, alg Algorithm, root int, dests []int, msgLen int) (Result, error) {
+	tree, err := alg.Tree(net, root, dests)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tree.Validate(dests); err != nil {
+		return Result{}, fmt.Errorf("multicast: %s built an invalid tree: %w", alg.Name(), err)
+	}
+	if msgLen <= 0 {
+		return Result{}, fmt.Errorf("multicast: message length %d", msgLen)
+	}
+
+	received := make(map[int]int64, len(dests))
+	var e *engine.Engine
+	e, err = engine.New(engine.Config{
+		Net:  net,
+		Seed: 7,
+		OnDeliver: func(m engine.Message, completed int64) {
+			received[m.Dst] = completed
+			for _, next := range tree.Children[m.Dst] {
+				e.Offer(engine.Message{Src: m.Dst, Dst: next, Len: msgLen, Created: completed})
+			}
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, next := range tree.Children[root] {
+		e.Offer(engine.Message{Src: root, Dst: next, Len: msgLen})
+	}
+	// Worst case: every unicast fully serialized.
+	budget := int64(tree.Size()+1) * int64(msgLen+2*net.Stages+4) * 4
+	if !e.RunUntilDrained(budget) {
+		return Result{}, fmt.Errorf("multicast: %s did not complete within %d cycles", alg.Name(), budget)
+	}
+	var last int64
+	for _, d := range dests {
+		at, ok := received[d]
+		if !ok {
+			return Result{}, fmt.Errorf("multicast: destination %d never received", d)
+		}
+		if at > last {
+			last = at
+		}
+	}
+	return Result{
+		Algorithm: alg.Name(),
+		Latency:   last,
+		Unicasts:  tree.Size(),
+		MaxDepth:  depth(tree),
+	}, nil
+}
+
+func depth(t Tree) int {
+	var walk func(n int) int
+	walk = func(n int) int {
+		max := 0
+		for _, c := range t.Children[n] {
+			if d := walk(c) + 1; d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return walk(t.Root)
+}

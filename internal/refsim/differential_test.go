@@ -1,0 +1,196 @@
+package refsim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"minsim/internal/engine"
+	"minsim/internal/topology"
+	"minsim/internal/xrand"
+)
+
+// deliveriesKey renders a delivery set order-independently.
+func deliveriesKey(ds []Delivery) map[string]int64 {
+	out := map[string]int64{}
+	for _, d := range ds {
+		out[fmt.Sprintf("%d->%d/%d@%d", d.Src, d.Dst, d.Len, d.Created)] = d.Completed
+	}
+	return out
+}
+
+// runBoth runs the same deterministic workload through the engine
+// (oldest-first arbitration) and the reference simulator, returning
+// both delivery maps.
+func runBoth(t *testing.T, net *topology.Network, msgs []Message) (map[string]int64, map[string]int64) {
+	t.Helper()
+	// Reference.
+	ref := New(net)
+	for _, m := range msgs {
+		ref.Offer(m)
+	}
+	if !ref.Run(2_000_000) {
+		t.Fatal("reference simulator did not drain")
+	}
+
+	// Engine.
+	var engDel []Delivery
+	src := &listSource{queues: make([][]engine.Message, net.Nodes)}
+	for _, m := range msgs {
+		src.queues[m.Src] = append(src.queues[m.Src], engine.Message{Src: m.Src, Dst: m.Dst, Len: m.Len, Created: m.Created})
+	}
+	e, err := engine.New(engine.Config{
+		Net:         net,
+		Source:      src,
+		Seed:        1,
+		Arbitration: engine.ArbitrateOldestFirst,
+		OnDeliver: func(m engine.Message, completed int64) {
+			engDel = append(engDel, Delivery{Message: Message{Src: m.Src, Dst: m.Dst, Len: m.Len, Created: m.Created}, Completed: completed})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.RunUntilDrained(2_000_000) {
+		t.Fatal("engine did not drain")
+	}
+	return deliveriesKey(ref.Deliveries), deliveriesKey(engDel)
+}
+
+type listSource struct {
+	queues [][]engine.Message
+}
+
+func (s *listSource) Next(node int) (engine.Message, bool) {
+	q := s.queues[node]
+	if len(q) == 0 {
+		return engine.Message{}, false
+	}
+	s.queues[node] = q[1:]
+	return q[0], true
+}
+
+func compare(t *testing.T, ref, eng map[string]int64, label string) {
+	t.Helper()
+	if len(ref) != len(eng) {
+		t.Fatalf("%s: reference delivered %d, engine %d", label, len(ref), len(eng))
+	}
+	for k, rc := range ref {
+		ec, ok := eng[k]
+		if !ok {
+			t.Fatalf("%s: engine missing delivery %s", label, k)
+		}
+		if ec != rc {
+			t.Errorf("%s: %s completed at %d in engine, %d in reference", label, k, ec, rc)
+		}
+	}
+}
+
+// TestDifferentialSimplePairs: a handful of hand-written scenarios
+// must agree cycle-exactly.
+func TestDifferentialSimplePairs(t *testing.T) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := map[string][]Message{
+		"single":     {{Src: 0, Dst: 42, Len: 17, Created: 0}},
+		"conflict":   {{Src: 0, Dst: 1, Len: 30, Created: 0}, {Src: 16, Dst: 1, Len: 10, Created: 0}},
+		"pipeline":   {{Src: 3, Dst: 9, Len: 5, Created: 0}, {Src: 3, Dst: 20, Len: 8, Created: 2}, {Src: 3, Dst: 40, Len: 3, Created: 4}},
+		"staggered":  {{Src: 5, Dst: 6, Len: 100, Created: 0}, {Src: 7, Dst: 6, Len: 100, Created: 50}, {Src: 9, Dst: 6, Len: 100, Created: 99}},
+		"everywhere": allToNext(net.Nodes, 12),
+	}
+	for label, msgs := range scenarios {
+		ref, eng := runBoth(t, net, msgs)
+		compare(t, ref, eng, label)
+	}
+}
+
+func allToNext(nodes, l int) []Message {
+	var out []Message
+	for s := 0; s < nodes; s++ {
+		out = append(out, Message{Src: s, Dst: (s + 1) % nodes, Len: l, Created: int64(s % 4)})
+	}
+	return out
+}
+
+// TestDifferentialQuick: randomized workloads on TMINs of several
+// shapes agree cycle-exactly between the engine and the reference.
+func TestDifferentialQuick(t *testing.T) {
+	nets := []*topology.Network{}
+	for _, cfg := range []topology.UniConfig{
+		{K: 2, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1},
+		{K: 4, Stages: 2, Pattern: topology.Butterfly, Dilation: 1, VCs: 1},
+		{K: 4, Stages: 3, Pattern: topology.Omega, Dilation: 1, VCs: 1},
+		{K: 2, Stages: 4, Pattern: topology.Baseline, Dilation: 1, VCs: 1},
+	} {
+		n, err := topology.NewUnidirectional(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, n)
+	}
+	f := func(sel uint8, seed uint64, count uint8) bool {
+		net := nets[int(sel)%len(nets)]
+		rng := xrand.New(seed)
+		n := int(count)%60 + 1
+		var msgs []Message
+		lastCreated := make([]int64, net.Nodes)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(net.Nodes)
+			dst := rng.Intn(net.Nodes)
+			if dst == src {
+				dst = (dst + 1) % net.Nodes
+			}
+			created := lastCreated[src] + int64(rng.Intn(40))
+			lastCreated[src] = created
+			msgs = append(msgs, Message{Src: src, Dst: dst, Len: 1 + rng.Intn(60), Created: created})
+		}
+		ref, eng := runBoth(t, net, msgs)
+		if len(ref) != len(eng) {
+			return false
+		}
+		for k, rc := range ref {
+			if eng[k] != rc {
+				t.Logf("sel=%d seed=%d: %s engine %d vs ref %d", sel, seed, k, eng[k], rc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReferencePanicsOnMultiCandidate: the reference refuses networks
+// it does not cover.
+func TestReferencePanicsOnMultiCandidate(t *testing.T) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 2, Stages: 3, Pattern: topology.Cube, Dilation: 2, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(net)
+	s.Offer(Message{Src: 0, Dst: 5, Len: 4, Created: 0})
+	defer func() {
+		if recover() == nil {
+			t.Error("multi-candidate routing did not panic")
+		}
+	}()
+	s.Run(100)
+}
+
+func TestOfferValidation(t *testing.T) {
+	net, _ := topology.NewUnidirectional(topology.UniConfig{K: 2, Stages: 2, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	s := New(net)
+	for _, bad := range []Message{{Src: 0, Dst: 0, Len: 4}, {Src: 0, Dst: 1, Len: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad message %+v accepted", bad)
+				}
+			}()
+			s.Offer(bad)
+		}()
+	}
+}

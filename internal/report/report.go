@@ -1,0 +1,249 @@
+// Package report turns experiment results into a reproduction
+// certificate: each paper figure carries machine-checkable claims
+// (who saturates above whom, which curves coincide), the checks are
+// evaluated against freshly simulated data, and the outcome renders
+// as a markdown report. This automates the paper-vs-measured
+// comparison recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"minsim/internal/experiments"
+	"minsim/internal/metrics"
+)
+
+// Check is one machine-checkable claim about a figure.
+type Check interface {
+	// Evaluate returns whether the claim holds on the figure and a
+	// one-line detail with the numbers involved.
+	Evaluate(fig metrics.Figure) (ok bool, detail string)
+}
+
+// sat returns the series' saturation throughput, falling back to the
+// peak delivered throughput when nothing was sustainable (hot-spot
+// overload regimes).
+func sat(fig metrics.Figure, label string) (float64, bool) {
+	for _, s := range fig.Series {
+		if s.Label == label {
+			if v, ok := s.SaturationThroughput(); ok {
+				return v, true
+			}
+			return s.PeakThroughput(), true
+		}
+	}
+	return 0, false
+}
+
+// SatOrder claims series Hi saturates at least MinRatio times series
+// Lo's saturation (MinRatio > 1 means a strict win; 1.0 means "at
+// least as good").
+type SatOrder struct {
+	Hi, Lo   string
+	MinRatio float64
+}
+
+// Evaluate implements Check.
+func (c SatOrder) Evaluate(fig metrics.Figure) (bool, string) {
+	hi, ok1 := sat(fig, c.Hi)
+	lo, ok2 := sat(fig, c.Lo)
+	if !ok1 || !ok2 {
+		return false, fmt.Sprintf("missing series %q or %q", c.Hi, c.Lo)
+	}
+	ok := hi >= c.MinRatio*lo
+	return ok, fmt.Sprintf("sat(%s)=%.3f vs sat(%s)=%.3f (need ratio >= %.2f, got %.2f)",
+		c.Hi, hi, c.Lo, lo, c.MinRatio, ratio(hi, lo))
+}
+
+// SatEqual claims two series saturate within Tol relative difference.
+type SatEqual struct {
+	A, B string
+	Tol  float64
+}
+
+// Evaluate implements Check.
+func (c SatEqual) Evaluate(fig metrics.Figure) (bool, string) {
+	a, ok1 := sat(fig, c.A)
+	b, ok2 := sat(fig, c.B)
+	if !ok1 || !ok2 {
+		return false, fmt.Sprintf("missing series %q or %q", c.A, c.B)
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	base := (a + b) / 2
+	ok := base > 0 && diff/base <= c.Tol
+	return ok, fmt.Sprintf("sat(%s)=%.3f vs sat(%s)=%.3f (need within %.0f%%, got %.0f%%)",
+		c.A, a, c.B, b, 100*c.Tol, 100*diff/base)
+}
+
+// BaseLatencyOrder claims series Lo has lower latency than series Hi
+// at the lightest measured load — used for the paper's "VMIN latency
+// is worse than TMIN under permutations" fairness claim.
+type BaseLatencyOrder struct {
+	Lo, Hi string // Lo should be faster (lower latency) than Hi
+}
+
+// Evaluate implements Check.
+func (c BaseLatencyOrder) Evaluate(fig metrics.Figure) (bool, string) {
+	lo := baseLatency(fig, c.Lo)
+	hi := baseLatency(fig, c.Hi)
+	if lo == 0 || hi == 0 {
+		return false, fmt.Sprintf("missing series %q or %q", c.Lo, c.Hi)
+	}
+	return lo < hi, fmt.Sprintf("baseLatency(%s)=%.1f vs baseLatency(%s)=%.1f (want first lower)", c.Lo, lo, c.Hi, hi)
+}
+
+func baseLatency(fig metrics.Figure, label string) float64 {
+	for _, s := range fig.Series {
+		if s.Label == label && len(s.Points) > 0 {
+			return s.Points[0].LatencyCyc
+		}
+	}
+	return 0
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Claims returns the machine-checkable claims per paper figure,
+// written with slack so that they are robust to simulation noise yet
+// still refute a wrong implementation.
+func Claims() map[string][]Check {
+	return map[string][]Check{
+		"fig16a": {
+			SatEqual{A: "cube TMIN", B: "butterfly TMIN", Tol: 0.10},
+		},
+		"fig16b": {
+			SatOrder{Hi: "cube TMIN (balanced)", Lo: "butterfly TMIN (shared)", MinRatio: 1.05},
+			SatOrder{Hi: "butterfly TMIN (shared)", Lo: "butterfly TMIN (reduced)", MinRatio: 1.2},
+		},
+		"fig17a": {
+			SatOrder{Hi: "butterfly TMIN (shared)", Lo: "butterfly TMIN (reduced)", MinRatio: 1.3},
+			SatOrder{Hi: "butterfly TMIN (shared)", Lo: "cube TMIN (balanced)", MinRatio: 0.98},
+		},
+		"fig17b": {
+			SatOrder{Hi: "butterfly shared 1:0:0:0", Lo: "cube 1:0:0:0", MinRatio: 1.0},
+			SatOrder{Hi: "butterfly shared 4:1:1:1", Lo: "cube 4:1:1:1", MinRatio: 0.98},
+			SatOrder{Hi: "cube 4:1:1:1", Lo: "cube 1:0:0:0", MinRatio: 1.3},
+		},
+		"fig18a": {
+			SatOrder{Hi: "DMIN(d=2)", Lo: "TMIN", MinRatio: 1.25},
+			SatOrder{Hi: "DMIN(d=2)", Lo: "BMIN", MinRatio: 1.15},
+			SatOrder{Hi: "DMIN(d=2)", Lo: "VMIN(vc=2)", MinRatio: 1.25},
+			SatOrder{Hi: "BMIN", Lo: "TMIN", MinRatio: 1.0},
+		},
+		"fig18b": {
+			SatOrder{Hi: "DMIN(d=2)", Lo: "TMIN", MinRatio: 1.1},
+			SatOrder{Hi: "BMIN", Lo: "TMIN", MinRatio: 1.0},
+		},
+		"fig19a": {
+			SatOrder{Hi: "DMIN(d=2)", Lo: "TMIN", MinRatio: 1.0},
+			SatEqual{A: "TMIN", B: "BMIN", Tol: 0.12}, // "difference quite small"
+		},
+		"fig19b": {
+			SatOrder{Hi: "DMIN(d=2)", Lo: "VMIN(vc=2)", MinRatio: 1.0},
+		},
+		"fig20a": {
+			SatOrder{Hi: "DMIN(d=2)", Lo: "TMIN", MinRatio: 1.5},
+			SatOrder{Hi: "BMIN", Lo: "TMIN", MinRatio: 1.4},
+			SatEqual{A: "TMIN", B: "VMIN(vc=2)", Tol: 0.08},
+			// The fairness effect: VMIN latency above TMIN even at
+			// light load.
+			BaseLatencyOrder{Lo: "TMIN", Hi: "VMIN(vc=2)"},
+		},
+		"fig20b": {
+			SatOrder{Hi: "DMIN(d=2)", Lo: "TMIN", MinRatio: 1.5},
+			SatOrder{Hi: "BMIN", Lo: "TMIN", MinRatio: 1.4},
+			BaseLatencyOrder{Lo: "TMIN", Hi: "VMIN(vc=2)"},
+		},
+	}
+}
+
+// Result is the evaluation of one figure.
+type Result struct {
+	Figure  metrics.Figure
+	Expect  string
+	Checks  []string // one line per check, prefixed PASS/FAIL
+	Passed  int
+	Failed  int
+	Skipped bool // no claims encoded for this figure
+}
+
+// Evaluate runs the claims for a figure.
+func Evaluate(fig metrics.Figure, expect string) Result {
+	res := Result{Figure: fig, Expect: expect}
+	checks, ok := Claims()[fig.ID]
+	if !ok {
+		res.Skipped = true
+		return res
+	}
+	for _, c := range checks {
+		ok, detail := c.Evaluate(fig)
+		status := "PASS"
+		if ok {
+			res.Passed++
+		} else {
+			res.Failed++
+			status = "FAIL"
+		}
+		res.Checks = append(res.Checks, fmt.Sprintf("%s  %s", status, detail))
+	}
+	return res
+}
+
+// Generate runs every paper figure under the budget, evaluates its
+// claims and renders the full markdown report.
+func Generate(budget experiments.Budget) (string, int, error) {
+	var sb strings.Builder
+	sb.WriteString("# Reproduction report\n\n")
+	sb.WriteString("Machine-checked claims per paper figure (see internal/report).\n\n")
+	failures := 0
+	for _, e := range experiments.Figures() {
+		fig, err := e.Run(budget)
+		if err != nil {
+			return "", failures, err
+		}
+		res := Evaluate(fig, e.Expect)
+		failures += res.Failed
+		sb.WriteString(Render(res))
+	}
+	return sb.String(), failures, nil
+}
+
+// Render formats one figure's evaluation as markdown.
+func Render(res Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s — %s\n\n", res.Figure.ID, res.Figure.Title)
+	if res.Expect != "" {
+		fmt.Fprintf(&sb, "Paper: %s\n\n", res.Expect)
+	}
+	fmt.Fprintf(&sb, "| series | saturation | peak | base latency (cyc) |\n|---|---|---|---|\n")
+	for _, s := range res.Figure.Series {
+		satStr := "n/a"
+		if v, ok := s.SaturationThroughput(); ok {
+			satStr = fmt.Sprintf("%.1f%%", 100*v)
+		}
+		base := 0.0
+		if len(s.Points) > 0 {
+			base = s.Points[0].LatencyCyc
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %.1f%% | %.1f |\n", s.Label, satStr, 100*s.PeakThroughput(), base)
+	}
+	sb.WriteString("\n")
+	if res.Skipped {
+		sb.WriteString("No machine-checkable claims encoded.\n\n")
+		return sb.String()
+	}
+	for _, c := range res.Checks {
+		fmt.Fprintf(&sb, "- %s\n", c)
+	}
+	fmt.Fprintf(&sb, "\n**%d/%d checks passed.**\n\n", res.Passed, res.Passed+res.Failed)
+	return sb.String()
+}

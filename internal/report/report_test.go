@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"minsim/internal/metrics"
+)
+
+func figWith(id string, series map[string][3]float64) metrics.Figure {
+	// series: label -> {saturationThroughput, peak, baseLatency}
+	fig := metrics.Figure{ID: id, Title: id}
+	for label, v := range series {
+		fig.Series = append(fig.Series, metrics.Series{
+			Label: label,
+			Points: []metrics.Point{
+				{Offered: 0.1, Throughput: v[0] / 2, LatencyCyc: v[2], Sustainable: true},
+				{Offered: 0.5, Throughput: v[0], LatencyCyc: v[2] * 3, Sustainable: true},
+				{Offered: 0.9, Throughput: v[1], LatencyCyc: v[2] * 10, Sustainable: false},
+			},
+		})
+	}
+	return fig
+}
+
+func TestSatOrder(t *testing.T) {
+	fig := figWith("x", map[string][3]float64{
+		"A": {0.5, 0.55, 100},
+		"B": {0.3, 0.35, 120},
+	})
+	if ok, _ := (SatOrder{Hi: "A", Lo: "B", MinRatio: 1.5}).Evaluate(fig); !ok {
+		t.Error("A should beat B by 1.5x")
+	}
+	if ok, _ := (SatOrder{Hi: "A", Lo: "B", MinRatio: 2.0}).Evaluate(fig); ok {
+		t.Error("A does not beat B by 2x")
+	}
+	if ok, detail := (SatOrder{Hi: "A", Lo: "missing"}).Evaluate(fig); ok || !strings.Contains(detail, "missing") {
+		t.Error("missing series should fail with detail")
+	}
+}
+
+func TestSatEqual(t *testing.T) {
+	fig := figWith("x", map[string][3]float64{
+		"A": {0.40, 0.41, 100},
+		"B": {0.42, 0.43, 100},
+	})
+	if ok, _ := (SatEqual{A: "A", B: "B", Tol: 0.10}).Evaluate(fig); !ok {
+		t.Error("5% apart should pass 10% tolerance")
+	}
+	if ok, _ := (SatEqual{A: "A", B: "B", Tol: 0.01}).Evaluate(fig); ok {
+		t.Error("5% apart should fail 1% tolerance")
+	}
+}
+
+func TestBaseLatencyOrder(t *testing.T) {
+	fig := figWith("x", map[string][3]float64{
+		"fast": {0.4, 0.4, 90},
+		"slow": {0.4, 0.4, 110},
+	})
+	if ok, _ := (BaseLatencyOrder{Lo: "fast", Hi: "slow"}).Evaluate(fig); !ok {
+		t.Error("fast should have lower base latency")
+	}
+	if ok, _ := (BaseLatencyOrder{Lo: "slow", Hi: "fast"}).Evaluate(fig); ok {
+		t.Error("reversed order should fail")
+	}
+}
+
+func TestSatFallsBackToPeak(t *testing.T) {
+	// A series with no sustainable point uses its peak.
+	fig := metrics.Figure{ID: "x", Series: []metrics.Series{
+		{Label: "over", Points: []metrics.Point{{Throughput: 0.2, Sustainable: false}}},
+		{Label: "ok", Points: []metrics.Point{{Throughput: 0.1, Sustainable: true}}},
+	}}
+	if ok, _ := (SatOrder{Hi: "over", Lo: "ok", MinRatio: 1.5}).Evaluate(fig); !ok {
+		t.Error("peak fallback did not apply")
+	}
+}
+
+func TestEvaluateAndRender(t *testing.T) {
+	fig := figWith("fig16a", map[string][3]float64{
+		"cube TMIN":      {0.35, 0.36, 580},
+		"butterfly TMIN": {0.35, 0.36, 585},
+	})
+	res := Evaluate(fig, "no difference expected")
+	if res.Skipped || res.Failed != 0 || res.Passed != 1 {
+		t.Fatalf("fig16a evaluation: %+v", res)
+	}
+	md := Render(res)
+	for _, want := range []string{"## fig16a", "PASS", "1/1 checks passed", "| cube TMIN |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("render missing %q:\n%s", want, md)
+		}
+	}
+	// Unknown figure: skipped.
+	unknown := Evaluate(figWith("nope", map[string][3]float64{"A": {1, 1, 1}}), "")
+	if !unknown.Skipped {
+		t.Error("unknown figure should be skipped")
+	}
+	if !strings.Contains(Render(unknown), "No machine-checkable claims") {
+		t.Error("skipped render wrong")
+	}
+}
+
+func TestClaimsCoverAllPaperFigures(t *testing.T) {
+	claims := Claims()
+	for _, id := range []string{"fig16a", "fig16b", "fig17a", "fig17b", "fig18a", "fig18b", "fig19a", "fig19b", "fig20a", "fig20b"} {
+		if len(claims[id]) == 0 {
+			t.Errorf("no claims for %s", id)
+		}
+	}
+}

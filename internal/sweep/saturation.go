@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"fmt"
+
+	"minsim/internal/metrics"
+)
+
+// trackTol is the delivered-vs-offered slack of the saturation
+// search: a load counts as sustained only when delivered throughput
+// is within this fraction of the offered load (the standard
+// "accepted tracks offered" criterion), in addition to the paper's
+// source-queue watermark. The watermark alone needs very long windows
+// to trip because the paper's messages are huge (mean 516 flits).
+const trackTol = 0.08
+
+// FindSaturation locates the paper's "maximum sustainable network
+// throughput" by bisecting on offered load: the highest load in
+// [lo, hi] whose simulation keeps every source queue within the
+// watermark AND delivers within trackTol of the offered load. It
+// returns the boundary load and the measurement taken there. tol is
+// the load resolution at which bisection stops.
+//
+// The Config's Loads field is ignored; everything else (network,
+// factory, cycle budget, seed) applies to each probe.
+func FindSaturation(cfg Config, lo, hi, tol float64) (float64, metrics.Point, error) {
+	if lo < 0 || hi <= lo || tol <= 0 {
+		return 0, metrics.Point{}, fmt.Errorf("sweep: bad saturation bracket [%v, %v] tol %v", lo, hi, tol)
+	}
+	probe := func(load float64) (metrics.Point, error) {
+		c := cfg
+		c.Loads = []float64{load}
+		pts, err := Run(c)
+		if err != nil {
+			return metrics.Point{}, err
+		}
+		p := pts[0]
+		offered := p.OfferedMeasured
+		if offered == 0 {
+			offered = p.Offered
+		}
+		p.Sustainable = p.Sustainable && p.Throughput >= (1-trackTol)*offered
+		return p, nil
+	}
+
+	// Establish the bracket: lo must be sustainable, hi unsustainable.
+	best, err := probe(lo)
+	if err != nil {
+		return 0, metrics.Point{}, err
+	}
+	if !best.Sustainable {
+		return 0, best, fmt.Errorf("sweep: lower bound %v is already unsustainable", lo)
+	}
+	high, err := probe(hi)
+	if err != nil {
+		return 0, metrics.Point{}, err
+	}
+	if high.Sustainable {
+		// The whole bracket is sustainable; report the top.
+		return hi, high, nil
+	}
+
+	bestLoad := lo
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		p, err := probe(mid)
+		if err != nil {
+			return 0, metrics.Point{}, err
+		}
+		if p.Sustainable {
+			lo, bestLoad, best = mid, mid, p
+		} else {
+			hi = mid
+		}
+	}
+	return bestLoad, best, nil
+}

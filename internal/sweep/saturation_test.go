@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"testing"
+
+	"minsim/internal/traffic"
+)
+
+func TestFindSaturation(t *testing.T) {
+	net := tmin(t)
+	cfg := Config{
+		Net:           net,
+		Factory:       uniformFactory(net, traffic.FixedLen{L: 64}),
+		WarmupCycles:  2000,
+		MeasureCycles: 20000,
+		Seed:          5,
+		QueueLimit:    30,
+	}
+	load, pt, err := FindSaturation(cfg, 0.05, 2.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Sustainable {
+		t.Error("returned point not sustainable")
+	}
+	// A 64-node TMIN saturates well below ejection capacity but above
+	// trivial loads.
+	if load < 0.1 || load > 0.9 {
+		t.Errorf("saturation load %v outside plausible range", load)
+	}
+	if pt.Throughput <= 0 {
+		t.Error("no throughput at saturation point")
+	}
+}
+
+func TestFindSaturationWholeRangeSustainable(t *testing.T) {
+	net := tmin(t)
+	cfg := Config{
+		Net:           net,
+		Factory:       uniformFactory(net, traffic.FixedLen{L: 16}),
+		WarmupCycles:  500,
+		MeasureCycles: 3000,
+		Seed:          6,
+		QueueLimit:    100,
+	}
+	load, pt, err := FindSaturation(cfg, 0.01, 0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load != 0.05 || !pt.Sustainable {
+		t.Errorf("expected top of bracket, got %v (sustainable %t)", load, pt.Sustainable)
+	}
+}
+
+func TestFindSaturationErrors(t *testing.T) {
+	net := tmin(t)
+	cfg := Config{
+		Net:           net,
+		Factory:       uniformFactory(net, traffic.FixedLen{L: 512}),
+		WarmupCycles:  0,
+		MeasureCycles: 20000,
+		Seed:          7,
+		QueueLimit:    5,
+	}
+	// Bad brackets.
+	if _, _, err := FindSaturation(cfg, 0.5, 0.1, 0.01); err == nil {
+		t.Error("inverted bracket accepted")
+	}
+	if _, _, err := FindSaturation(cfg, -1, 0.1, 0.01); err == nil {
+		t.Error("negative bracket accepted")
+	}
+	if _, _, err := FindSaturation(cfg, 0.1, 0.5, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	// Unsustainable lower bound.
+	if _, _, err := FindSaturation(cfg, 5.0, 6.0, 0.5); err == nil {
+		t.Error("unsustainable lower bound accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package sweep runs offered-load sweeps: one wormhole simulation per
+// load point, executed in parallel across a worker pool (the network
+// description is immutable and shared; every point gets its own
+// engine, traffic source and PRNG streams so results are independent
+// of scheduling).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"minsim/internal/engine"
+	"minsim/internal/metrics"
+	"minsim/internal/topology"
+)
+
+// SourceFactory builds a fresh traffic source for a given offered
+// load (flits/node/cycle) and seed.
+type SourceFactory func(load float64, seed uint64) (engine.Source, error)
+
+// Config describes a sweep.
+type Config struct {
+	Net     *topology.Network
+	Factory SourceFactory
+	Loads   []float64 // offered loads, flits/node/cycle
+
+	WarmupCycles  int64 // simulated but not measured
+	MeasureCycles int64 // measurement window
+	Seed          uint64
+	QueueLimit    int                // sustainability watermark (0 = paper's 100)
+	BufferDepth   int                // per-channel flit buffers (0 = paper's 1)
+	Arbitration   engine.Arbitration // worm ordering policy
+	Parallelism   int                // worker goroutines (0 = GOMAXPROCS)
+}
+
+func (c Config) validate() error {
+	if c.Net == nil {
+		return fmt.Errorf("sweep: nil network")
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("sweep: nil source factory")
+	}
+	if len(c.Loads) == 0 {
+		return fmt.Errorf("sweep: no load points")
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
+		return fmt.Errorf("sweep: invalid cycle budget (warmup %d, measure %d)", c.WarmupCycles, c.MeasureCycles)
+	}
+	return nil
+}
+
+// Run executes the sweep and returns one Point per load, in load
+// order. The first error encountered aborts the sweep.
+func Run(cfg Config) ([]metrics.Point, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Loads) {
+		workers = len(cfg.Loads)
+	}
+
+	points := make([]metrics.Point, len(cfg.Loads))
+	errs := make([]error, len(cfg.Loads))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				points[i], errs[i] = runPoint(cfg, i)
+			}
+		}()
+	}
+	for i := range cfg.Loads {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// runPoint simulates a single offered-load point.
+func runPoint(cfg Config, i int) (metrics.Point, error) {
+	load := cfg.Loads[i]
+	// Derive a per-point seed so adding points does not reshuffle
+	// existing ones.
+	seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+	src, err := cfg.Factory(load, seed)
+	if err != nil {
+		return metrics.Point{}, fmt.Errorf("sweep: load %v: %w", load, err)
+	}
+	e, err := engine.New(engine.Config{
+		Net:         cfg.Net,
+		Source:      src,
+		Seed:        seed ^ 0xd1b54a32d192ed03,
+		QueueLimit:  cfg.QueueLimit,
+		BufferDepth: cfg.BufferDepth,
+		Arbitration: cfg.Arbitration,
+	})
+	if err != nil {
+		return metrics.Point{}, fmt.Errorf("sweep: load %v: %w", load, err)
+	}
+	e.SetMeasureFrom(cfg.WarmupCycles)
+	e.Run(cfg.WarmupCycles + cfg.MeasureCycles)
+	return metrics.FromStats(load, cfg.Net.Nodes, e.Stats()), nil
+}
+
+// LoadRange returns count loads evenly spaced over [lo, hi],
+// inclusive of both endpoints.
+func LoadRange(lo, hi float64, count int) []float64 {
+	if count < 2 || hi < lo {
+		panic(fmt.Sprintf("sweep: bad load range [%v, %v] x%d", lo, hi, count))
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(count-1)
+	}
+	return out
+}

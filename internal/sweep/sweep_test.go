@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"minsim/internal/engine"
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+func tmin(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func uniformFactory(net *topology.Network, lengths traffic.LengthDist) SourceFactory {
+	c := traffic.Global(net.Nodes)
+	return func(load float64, seed uint64) (engine.Source, error) {
+		rates, err := traffic.NodeRates(c, load, lengths.Mean(), nil)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewWorkload(traffic.Config{
+			Nodes:   net.Nodes,
+			Pattern: traffic.Uniform{C: c},
+			Lengths: lengths,
+			Rates:   rates,
+			Seed:    seed,
+		})
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	net := tmin(t)
+	cfg := Config{
+		Net:           net,
+		Factory:       uniformFactory(net, traffic.FixedLen{L: 32}),
+		Loads:         []float64{0.05, 0.15, 0.3},
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		Seed:          1,
+	}
+	pts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.Offered != cfg.Loads[i] {
+			t.Errorf("point %d offered %v, want %v", i, p.Offered, cfg.Loads[i])
+		}
+		if p.Messages == 0 {
+			t.Errorf("point %d measured no messages", i)
+		}
+		// At low load, throughput tracks offered load.
+		if math.Abs(p.Throughput-p.Offered) > 0.05 {
+			t.Errorf("point %d: throughput %v far from offered %v", i, p.Throughput, p.Offered)
+		}
+	}
+	// Latency rises with load.
+	if !(pts[0].LatencyCyc < pts[2].LatencyCyc) {
+		t.Errorf("latency did not rise with load: %v vs %v", pts[0].LatencyCyc, pts[2].LatencyCyc)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	net := tmin(t)
+	base := Config{
+		Net:           net,
+		Factory:       uniformFactory(net, traffic.FixedLen{L: 16}),
+		Loads:         []float64{0.1, 0.2, 0.3, 0.4},
+		WarmupCycles:  1000,
+		MeasureCycles: 4000,
+		Seed:          7,
+	}
+	seq := base
+	seq.Parallelism = 1
+	par := base
+	par.Parallelism = 4
+	a, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d differs between serial and parallel runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	net := tmin(t)
+	ok := uniformFactory(net, traffic.FixedLen{L: 16})
+	bad := []Config{
+		{Factory: ok, Loads: []float64{0.1}, MeasureCycles: 10},
+		{Net: net, Loads: []float64{0.1}, MeasureCycles: 10},
+		{Net: net, Factory: ok, MeasureCycles: 10},
+		{Net: net, Factory: ok, Loads: []float64{0.1}},
+		{Net: net, Factory: ok, Loads: []float64{0.1}, WarmupCycles: -1, MeasureCycles: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	failing := Config{
+		Net: net,
+		Factory: func(load float64, seed uint64) (engine.Source, error) {
+			return nil, fmt.Errorf("boom")
+		},
+		Loads:         []float64{0.1},
+		MeasureCycles: 10,
+	}
+	if _, err := Run(failing); err == nil {
+		t.Error("factory error not propagated")
+	}
+}
+
+func TestLoadRange(t *testing.T) {
+	got := LoadRange(0.1, 0.9, 5)
+	want := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("LoadRange = %v", got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad range did not panic")
+		}
+	}()
+	LoadRange(1, 0, 3)
+}
+
+func TestSaturationBehavior(t *testing.T) {
+	// Far beyond capacity the point must be unsustainable with a low
+	// queue limit.
+	net := tmin(t)
+	cfg := Config{
+		Net:           net,
+		Factory:       uniformFactory(net, traffic.FixedLen{L: 64}),
+		Loads:         []float64{5.0},
+		WarmupCycles:  0,
+		MeasureCycles: 20000,
+		Seed:          3,
+		QueueLimit:    20,
+	}
+	pts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Sustainable {
+		t.Error("5 flits/node/cycle should exceed the queue watermark")
+	}
+	if pts[0].Throughput > 1.0 {
+		t.Errorf("throughput %v exceeds ejection capacity", pts[0].Throughput)
+	}
+}

@@ -1,0 +1,170 @@
+package topology
+
+import "testing"
+
+func bminConfigs() [][2]int {
+	return [][2]int{{2, 2}, {2, 3}, {2, 4}, {4, 2}, {4, 3}, {8, 2}}
+}
+
+func TestBMINValidate(t *testing.T) {
+	for _, kn := range bminConfigs() {
+		net, err := NewBMIN(kn[0], kn[1])
+		if err != nil {
+			t.Fatalf("NewBMIN(%d, %d): %v", kn[0], kn[1], err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Errorf("%s: %v", net.Name(), err)
+		}
+	}
+}
+
+func TestBMINCounts(t *testing.T) {
+	for _, kn := range bminConfigs() {
+		k, n := kn[0], kn[1]
+		net, _ := NewBMIN(k, n)
+		N := net.Nodes
+		// n stages of k^{n-1} switches each.
+		if len(net.Switches) != n*N/k {
+			t.Errorf("BMIN(%d,%d): %d switches, want %d", k, n, len(net.Switches), n*N/k)
+		}
+		// Each node pair + each interstage wire pair is two links/channels.
+		wantLinks := 2*N + 2*(n-1)*N
+		if len(net.Links) != wantLinks || len(net.Channels) != wantLinks {
+			t.Errorf("BMIN(%d,%d): %d links %d channels, want %d", k, n, len(net.Links), len(net.Channels), wantLinks)
+		}
+	}
+}
+
+// TestBMINvsDMINHardware checks the paper's claim that a two-dilated
+// DMIN and the corresponding BMIN have similar hardware complexity:
+// at 64 nodes with 4x4 switches both carry the same total number of
+// channels.
+func TestBMINvsDMINHardware(t *testing.T) {
+	dmin, _ := NewUnidirectional(UniConfig{K: 4, Stages: 3, Pattern: Cube, Dilation: 2, VCs: 1})
+	bmin, _ := NewBMIN(4, 3)
+	if dmin.ChannelCount() != bmin.ChannelCount() {
+		t.Errorf("DMIN has %d channels, BMIN %d; the paper calls these similar",
+			dmin.ChannelCount(), bmin.ChannelCount())
+	}
+}
+
+func TestBMINLastStageHasNoRightPorts(t *testing.T) {
+	net, _ := NewBMIN(4, 3)
+	for i := range net.Switches {
+		sw := &net.Switches[i]
+		hasRight := sw.PortAt(Right, 0) != nil
+		if sw.Stage == net.Stages-1 && hasRight {
+			t.Errorf("last-stage switch %d has right output ports", i)
+		}
+		if sw.Stage < net.Stages-1 && !hasRight {
+			t.Errorf("stage-%d switch %d is missing right output ports", sw.Stage, i)
+		}
+		if sw.PortAt(Left, 0) == nil {
+			t.Errorf("switch %d is missing left output ports", i)
+		}
+	}
+}
+
+func TestBMINWireIdentity(t *testing.T) {
+	// Between adjacent stages, forward and backward channels of the
+	// same wire address connect the same pair of switch ports, in
+	// opposite directions.
+	net, _ := NewBMIN(4, 3)
+	for g := 1; g < net.Stages; g++ {
+		fwd := net.LayerChannels(g, Forward)
+		bwd := net.LayerChannels(g, Backward)
+		if len(fwd) != net.Nodes || len(bwd) != net.Nodes {
+			t.Fatalf("layer %d: %d fwd, %d bwd channels, want %d", g, len(fwd), len(bwd), net.Nodes)
+		}
+		byWire := make(map[int]*Channel)
+		for _, id := range fwd {
+			byWire[net.Channels[id].Wire] = &net.Channels[id]
+		}
+		for _, id := range bwd {
+			b := &net.Channels[id]
+			f := byWire[b.Wire]
+			if f == nil {
+				t.Fatalf("layer %d wire %d has no forward channel", g, b.Wire)
+			}
+			if f.From != b.To || f.To != b.From {
+				t.Errorf("layer %d wire %d: forward and backward endpoints are not opposite", g, b.Wire)
+			}
+		}
+	}
+}
+
+func TestBMINSubtree(t *testing.T) {
+	net, _ := NewBMIN(2, 3)
+	// Stage-0 switches cover pairs {0,1}, {2,3}, ...
+	for idx := 0; idx < 4; idx++ {
+		got := net.Subtree(0, idx)
+		if len(got) != 2 || got[0] != 2*idx || got[1] != 2*idx+1 {
+			t.Errorf("Subtree(0, %d) = %v", idx, got)
+		}
+	}
+	// Stage-1 switches cover 4 nodes sharing the top bit. Switch index
+	// is the address with bit 1 deleted: indices {0,1} -> nodes 0-3,
+	// {2,3} -> nodes 4-7.
+	for idx := 0; idx < 4; idx++ {
+		got := net.Subtree(1, idx)
+		wantBase := (idx / 2) * 4
+		if len(got) != 4 || got[0] != wantBase {
+			t.Errorf("Subtree(1, %d) = %v, want base %d size 4", idx, got, wantBase)
+		}
+	}
+	// The last stage covers all nodes.
+	got := net.Subtree(2, 0)
+	if len(got) != 8 || got[0] != 0 {
+		t.Errorf("Subtree(2, 0) = %v", got)
+	}
+}
+
+func TestBMINSubtreePanicsOnUnidirectional(t *testing.T) {
+	net, _ := NewUnidirectional(UniConfig{K: 2, Stages: 3, Dilation: 1, VCs: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Subtree on a unidirectional network did not panic")
+		}
+	}()
+	net.Subtree(0, 0)
+}
+
+func TestBMINErrors(t *testing.T) {
+	if _, err := NewBMIN(3, 2); err == nil {
+		t.Error("k = 3 accepted")
+	}
+	if _, err := NewBMIN(2, 0); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+// TestRightmostStageRedundancy demonstrates the Fig. 12 observation:
+// with k = 2, every stage-(n-1) switch of the BMIN has both its left
+// ports wired to the same stage-(n-2) switch pair such that the last
+// stage only ever swaps between two wires — i.e. a message turning at
+// stage n-1 could equivalently turn "in the wiring". We verify the
+// structural precondition: the two left ports of each last-stage
+// switch lead (backward) to ports of switches whose subtrees partition
+// the whole network.
+func TestRightmostStageRedundancy(t *testing.T) {
+	net, _ := NewBMIN(2, 3)
+	last := net.Stages - 1
+	for idx := 0; idx < net.Nodes/2; idx++ {
+		sw := net.SwitchAt(last, idx)
+		subs := make(map[int]bool)
+		for off := 0; off < 2; off++ {
+			p := sw.PortAt(Left, off)
+			ch := &net.Channels[p.Channels[0]]
+			down := &net.Switches[ch.To.Switch]
+			for _, node := range net.Subtree(down.Stage, down.Index) {
+				if subs[node] {
+					t.Fatalf("subtrees below last-stage switch %d overlap", idx)
+				}
+				subs[node] = true
+			}
+		}
+		if len(subs) != net.Nodes {
+			t.Fatalf("last-stage switch %d reaches %d nodes, want %d", idx, len(subs), net.Nodes)
+		}
+	}
+}

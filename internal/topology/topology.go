@@ -1,0 +1,294 @@
+// Package topology builds the switch-level graphs of the four
+// wormhole multistage interconnection networks (MINs) studied by
+// Ni/Gui/Moore: traditional MINs (TMIN), dilated MINs (DMIN), MINs
+// with virtual channels (VMIN) — all unidirectional, with either cube
+// or butterfly interstage wiring — and bidirectional butterfly MINs
+// (BMIN) routed by turnaround routing.
+//
+// A network is a set of switches connected by physical links; each
+// link carries one or more (virtual) channels. A channel is the unit
+// of wormhole allocation: it has a single-flit buffer at its
+// downstream end and is owned by at most one worm at a time. Dilated
+// ports are d parallel links of one channel each; virtual-channel
+// ports are one link carrying m channels.
+package topology
+
+import (
+	"fmt"
+
+	"minsim/internal/kary"
+)
+
+// Kind identifies one of the four network families of the paper.
+type Kind int
+
+const (
+	TMIN Kind = iota // traditional unidirectional MIN
+	DMIN             // d-dilated unidirectional MIN
+	VMIN             // unidirectional MIN with virtual channels
+	BMIN             // bidirectional butterfly MIN (fat tree)
+)
+
+// String returns the human-readable name.
+func (k Kind) String() string {
+	switch k {
+	case TMIN:
+		return "TMIN"
+	case DMIN:
+		return "DMIN"
+	case VMIN:
+		return "VMIN"
+	case BMIN:
+		return "BMIN"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pattern selects the interstage wiring of a unidirectional MIN
+// (Section 2 of the paper). Both are Delta networks; they differ in
+// partitionability (Section 4).
+type Pattern int
+
+const (
+	// Cube wiring: C_0 = perfect k-shuffle, C_i = β_{n-i}, C_n = identity.
+	Cube Pattern = iota
+	// Butterfly wiring: C_i = β_i for i < n, C_n = identity.
+	Butterfly
+	// Omega wiring: C_i = σ for i < n, C_n = identity. The paper's
+	// conclusion notes the Omega network has the same network
+	// partitionability as the cube network.
+	Omega
+	// Baseline wiring: C_0 = identity, C_i = the inverse shuffle
+	// applied to the low n-i+1 digits, C_n = identity. The paper's
+	// conclusion notes its partitionability is similar to the
+	// butterfly network's.
+	Baseline
+)
+
+// String returns the human-readable name.
+func (p Pattern) String() string {
+	switch p {
+	case Cube:
+		return "cube"
+	case Butterfly:
+		return "butterfly"
+	case Omega:
+		return "omega"
+	case Baseline:
+		return "baseline"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Side distinguishes the two sides of a switch. In unidirectional
+// networks inputs are on the Left and outputs on the Right; in
+// bidirectional networks both sides have inputs and outputs.
+type Side int8
+
+const (
+	Left Side = iota
+	Right
+)
+
+// String returns the human-readable name.
+func (s Side) String() string {
+	if s == Left {
+		return "L"
+	}
+	return "R"
+}
+
+// Dir is the direction a channel carries traffic. Unidirectional
+// networks only have Forward channels. In a BMIN, Forward moves away
+// from the nodes (up the fat tree) and Backward toward them.
+type Dir int8
+
+const (
+	Forward Dir = iota
+	Backward
+)
+
+// String returns the human-readable name.
+func (d Dir) String() string {
+	if d == Forward {
+		return "fwd"
+	}
+	return "bwd"
+}
+
+// Loc is one endpoint of a channel: either a node (Node >= 0,
+// Switch == -1) or a switch port.
+type Loc struct {
+	Node   int  // node id, or -1
+	Switch int  // index into Network.Switches, or -1
+	Side   Side // side of the switch the port is on
+	Port   int  // port offset in [0, k)
+}
+
+// IsNode reports whether the endpoint is a processor node.
+func (l Loc) IsNode() bool { return l.Node >= 0 }
+
+// Channel is a unidirectional virtual channel with a single-flit
+// buffer at its downstream (To) end.
+type Channel struct {
+	ID   int
+	Link int // physical link carrying this channel
+	From Loc
+	To   Loc
+	Dir  Dir
+	// Layer is the connection layer the channel belongs to. For
+	// unidirectional MINs layer i is connection C_i (0 = injection,
+	// n = ejection). For BMINs layer g covers the wires between stage
+	// g-1 and stage g, with layer 0 being the node<->stage-0 links.
+	Layer int
+	// Wire is the n-digit port/wire address of the channel within its
+	// layer (the quantity manipulated in the paper's Lemma 1 proof),
+	// or -1 when not meaningful.
+	Wire int
+}
+
+// Link is a physical communication link transmitting at most one flit
+// per cycle, shared by its Channels (one for plain channels, m for a
+// virtual-channel link).
+type Link struct {
+	ID       int
+	Channels []int
+}
+
+// Port is an output port of a switch: the set of candidate channels a
+// packet routed to this port may use (d channels when dilated, m when
+// virtual, 1 otherwise).
+type Port struct {
+	Side     Side
+	Offset   int
+	Channels []int
+}
+
+// Switch is a k x k crossbar (possibly dilated / virtual-channel /
+// bidirectional).
+type Switch struct {
+	ID    int
+	Stage int
+	Index int   // index of the switch within its stage
+	In    []int // ids of channels whose To is this switch
+	Ports []Port
+}
+
+// PortAt returns the output port on the given side with the given
+// offset, or nil if the switch has no such port (e.g. right ports of
+// the last BMIN stage).
+func (sw *Switch) PortAt(side Side, offset int) *Port {
+	for i := range sw.Ports {
+		p := &sw.Ports[i]
+		if p.Side == side && p.Offset == offset {
+			return p
+		}
+	}
+	return nil
+}
+
+// Network is a fully constructed MIN.
+type Network struct {
+	Kind     Kind
+	Pat      Pattern // meaningful for unidirectional kinds
+	R        kary.Radix
+	Dilation int // channels per port for DMIN (1 otherwise)
+	VCs      int // virtual channels per internal link for VMIN/BMIN (1 otherwise)
+	Extra    int // leading distribution stages (extra-stage MINs; 0 otherwise)
+
+	Nodes  int
+	Stages int
+
+	Channels []Channel
+	Links    []Link
+	Switches []Switch
+
+	Inject []int // per-node injection channel id
+	Eject  []int // per-node ejection channel id
+
+	switchAt [][]int // [stage][index] -> switch id
+}
+
+// K returns the switch arity.
+func (n *Network) K() int { return n.R.K() }
+
+// SwitchAt returns the switch at (stage, index).
+func (n *Network) SwitchAt(stage, index int) *Switch {
+	return &n.Switches[n.switchAt[stage][index]]
+}
+
+// Name returns a short human-readable description, e.g.
+// "DMIN(cube,d=2) 64 nodes 4x4".
+func (n *Network) Name() string {
+	xs := ""
+	if n.Extra > 0 {
+		xs = fmt.Sprintf("+%dxs", n.Extra)
+	}
+	switch n.Kind {
+	case TMIN:
+		return fmt.Sprintf("TMIN(%s%s) %d nodes %dx%d", n.Pat, xs, n.Nodes, n.K(), n.K())
+	case DMIN:
+		return fmt.Sprintf("DMIN(%s%s,d=%d) %d nodes %dx%d", n.Pat, xs, n.Dilation, n.Nodes, n.K(), n.K())
+	case VMIN:
+		return fmt.Sprintf("VMIN(%s%s,vc=%d) %d nodes %dx%d", n.Pat, xs, n.VCs, n.Nodes, n.K(), n.K())
+	case BMIN:
+		if n.VCs > 1 {
+			return fmt.Sprintf("BMIN(vc=%d) %d nodes %dx%d", n.VCs, n.Nodes, n.K(), n.K())
+		}
+		return fmt.Sprintf("BMIN %d nodes %dx%d", n.Nodes, n.K(), n.K())
+	}
+	return "unknown network"
+}
+
+// builder accumulates network components with stable ids.
+type builder struct {
+	net *Network
+}
+
+func (b *builder) addSwitch(stage, index int) int {
+	id := len(b.net.Switches)
+	b.net.Switches = append(b.net.Switches, Switch{ID: id, Stage: stage, Index: index})
+	b.net.switchAt[stage][index] = id
+	return id
+}
+
+// addLink creates a physical link carrying `chans` channels with the
+// given endpoints and returns the channel ids.
+func (b *builder) addLink(from, to Loc, dir Dir, layer, wire, chans int) []int {
+	linkID := len(b.net.Links)
+	ids := make([]int, 0, chans)
+	for c := 0; c < chans; c++ {
+		chID := len(b.net.Channels)
+		b.net.Channels = append(b.net.Channels, Channel{
+			ID: chID, Link: linkID, From: from, To: to, Dir: dir, Layer: layer, Wire: wire,
+		})
+		ids = append(ids, chID)
+	}
+	b.net.Links = append(b.net.Links, Link{ID: linkID, Channels: ids})
+	return ids
+}
+
+// connect registers channels on both endpoint switches: as inputs on
+// the To switch and as an output port on the From switch.
+func (b *builder) connect(chans []int) {
+	for _, id := range chans {
+		ch := &b.net.Channels[id]
+		if !ch.To.IsNode() {
+			sw := &b.net.Switches[ch.To.Switch]
+			sw.In = append(sw.In, id)
+		}
+	}
+	first := &b.net.Channels[chans[0]]
+	if first.From.IsNode() {
+		return
+	}
+	sw := &b.net.Switches[first.From.Switch]
+	if p := sw.PortAt(first.From.Side, first.From.Port); p != nil {
+		p.Channels = append(p.Channels, chans...)
+		return
+	}
+	sw.Ports = append(sw.Ports, Port{Side: first.From.Side, Offset: first.From.Port, Channels: append([]int(nil), chans...)})
+}
+
+func nodeLoc(n int) Loc               { return Loc{Node: n, Switch: -1} }
+func swLoc(sw int, s Side, p int) Loc { return Loc{Node: -1, Switch: sw, Side: s, Port: p} }

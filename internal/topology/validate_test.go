@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// corrupt applies a mutation to a freshly built network and asserts
+// Validate reports a violation mentioning the given substring.
+func corrupt(t *testing.T, wantErr string, mutate func(n *Network)) {
+	t.Helper()
+	net, err := NewUnidirectional(UniConfig{K: 2, Stages: 3, Pattern: Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(net)
+	err = net.Validate()
+	if err == nil {
+		t.Errorf("corruption %q not detected", wantErr)
+		return
+	}
+	if !strings.Contains(err.Error(), wantErr) {
+		t.Errorf("corruption detected with %q, want mention of %q", err, wantErr)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	corrupt(t, "has ID", func(n *Network) { n.Channels[3].ID = 99 })
+	corrupt(t, "out of range", func(n *Network) { n.Channels[3].Link = 9999 })
+	corrupt(t, "out of range", func(n *Network) { n.Channels[3].To.Switch = 9999; n.Channels[3].To.Node = -1 })
+	corrupt(t, "node to node", func(n *Network) {
+		n.Channels[0].From = Loc{Node: 0, Switch: -1}
+		n.Channels[0].To = Loc{Node: 1, Switch: -1}
+	})
+	corrupt(t, "has ID", func(n *Network) { n.Links[2].ID = 0 })
+	corrupt(t, "no channels", func(n *Network) { n.Links[2].Channels = nil })
+	corrupt(t, "belongs to link", func(n *Network) { n.Links[2].Channels = []int{n.Links[3].Channels[0]} })
+	corrupt(t, "does not terminate", func(n *Network) {
+		sw := &n.Switches[0]
+		// Claim an input that terminates elsewhere.
+		for i := range n.Channels {
+			if !n.Channels[i].To.IsNode() && n.Channels[i].To.Switch != 0 {
+				sw.In = append(sw.In, i)
+				break
+			}
+		}
+	})
+	corrupt(t, "port offset", func(n *Network) { n.Switches[0].Ports[0].Offset = 9 })
+	corrupt(t, "has no channels", func(n *Network) { n.Switches[0].Ports[0].Channels = nil })
+	corrupt(t, "invalid injection", func(n *Network) { n.Inject[0] = n.Eject[0] })
+	corrupt(t, "invalid ejection", func(n *Network) { n.Eject[0] = n.Inject[0] })
+	corrupt(t, "channels, want", func(n *Network) {
+		// Duplicate a channel on a port: wrong multiplicity.
+		p := n.SwitchAt(1, 0).PortAt(Right, 0)
+		p.Channels = append(p.Channels, p.Channels[0])
+	})
+}
+
+func TestValidateAcceptsAllBuilders(t *testing.T) {
+	builders := []func() (*Network, error){
+		func() (*Network, error) {
+			return NewUnidirectional(UniConfig{K: 4, Stages: 3, Pattern: Omega, Dilation: 1, VCs: 1})
+		},
+		func() (*Network, error) {
+			return NewUnidirectional(UniConfig{K: 4, Stages: 3, Pattern: Baseline, Dilation: 1, VCs: 1})
+		},
+		func() (*Network, error) {
+			return NewUnidirectional(UniConfig{K: 4, Stages: 3, Pattern: Cube, Dilation: 2, VCs: 1, Extra: 2})
+		},
+		func() (*Network, error) { return NewBMINVC(4, 3, 4) },
+	}
+	for i, b := range builders {
+		net, err := b()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Errorf("builder %d (%s): %v", i, net.Name(), err)
+		}
+	}
+}
+
+func TestLayerChannels(t *testing.T) {
+	net, _ := NewBMIN(2, 3)
+	for g := 1; g < 3; g++ {
+		if got := len(net.LayerChannels(g, Forward)); got != 8 {
+			t.Errorf("layer %d fwd: %d channels", g, got)
+		}
+		if got := len(net.LayerChannels(g, Backward)); got != 8 {
+			t.Errorf("layer %d bwd: %d channels", g, got)
+		}
+	}
+	if got := len(net.LayerChannels(0, Forward)); got != 8 {
+		t.Errorf("inject layer: %d", got)
+	}
+	// Unidirectional networks have no backward channels.
+	uni, _ := NewUnidirectional(UniConfig{K: 2, Stages: 3, Pattern: Cube, Dilation: 1, VCs: 1})
+	if got := len(uni.LayerChannels(1, Backward)); got != 0 {
+		t.Errorf("unidirectional backward channels: %d", got)
+	}
+}

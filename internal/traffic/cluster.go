@@ -1,0 +1,82 @@
+package traffic
+
+import (
+	"fmt"
+
+	"minsim/internal/kary"
+)
+
+// Clustering partitions the nodes into disjoint processor clusters
+// (Section 4/5 of the paper). Of maps each node to its cluster index;
+// Members lists the nodes of each cluster in ascending order.
+type Clustering struct {
+	Of      []int
+	Members [][]int
+}
+
+// NewClustering builds a Clustering from a node->cluster map.
+func NewClustering(of []int) (Clustering, error) {
+	nc := 0
+	for _, c := range of {
+		if c < 0 {
+			return Clustering{}, fmt.Errorf("traffic: negative cluster index %d", c)
+		}
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	members := make([][]int, nc)
+	for n, c := range of {
+		members[c] = append(members[c], n)
+	}
+	for i, m := range members {
+		if len(m) == 0 {
+			return Clustering{}, fmt.Errorf("traffic: cluster %d is empty", i)
+		}
+	}
+	return Clustering{Of: append([]int(nil), of...), Members: members}, nil
+}
+
+// Global puts all nodes in one cluster.
+func Global(nodes int) Clustering {
+	of := make([]int, nodes)
+	c, _ := NewClustering(of)
+	return c
+}
+
+// ByDigit clusters nodes by the value of one address digit, yielding
+// k clusters of N/k nodes. Digit n-1 gives the paper's cube-network
+// clusters 0XX, 1XX, 2XX, 3XX (base k-ary cubes, channel-balanced in
+// a cube MIN, channel-reduced in a butterfly MIN); digit 0 gives the
+// butterfly network's channel-shared clusters XX0, XX1, XX2, XX3.
+func ByDigit(r kary.Radix, digit int) Clustering {
+	of := make([]int, r.Size())
+	for n := range of {
+		of[n] = r.Digit(n, digit)
+	}
+	c, _ := NewClustering(of)
+	return c
+}
+
+// Halves clusters the nodes into two equal halves by the top binary
+// bit of the address (a binary-cube partitioning; the paper's
+// cluster-32 workload on 64 nodes).
+func Halves(nodes int) Clustering {
+	of := make([]int, nodes)
+	for n := range of {
+		if n >= nodes/2 {
+			of[n] = 1
+		}
+	}
+	c, _ := NewClustering(of)
+	return c
+}
+
+// Cluster16 is the paper's cluster-16 partitioning for the 64-node
+// networks: four 16-node clusters fixing the most significant radix-4
+// digit (0XX, 1XX, 2XX, 3XX).
+func Cluster16(r kary.Radix) Clustering { return ByDigit(r, r.N()-1) }
+
+// Cluster16Shared is the channel-shared clustering of a butterfly
+// network: XX0, XX1, XX2, XX3 (least significant digit fixed).
+func Cluster16Shared(r kary.Radix) Clustering { return ByDigit(r, 0) }

@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"fmt"
+
+	"minsim/internal/kary"
+)
+
+// Additional classic permutation patterns beyond the paper's perfect
+// k-shuffle and i-th butterfly. These are the standard adversarial
+// workloads of the interconnection-network literature ("other
+// nonuniform traffic patterns" in the paper's future-work list); all
+// are expressed as kary.Perm tables and plug into Permutation.
+
+// BitReversePattern sends s to the digit-reversed address:
+// x_{n-1}...x_0 -> x_0...x_{n-1}.
+func BitReversePattern(r kary.Radix) Permutation {
+	p := make(kary.Perm, r.Size())
+	n := r.N()
+	for x := range p {
+		y := 0
+		for i := 0; i < n; i++ {
+			y = r.SetDigit(y, n-1-i, r.Digit(x, i))
+		}
+		p[x] = y
+	}
+	return Permutation{P: p}
+}
+
+// ComplementPattern sends s to its digit-wise complement:
+// each digit x_i -> k-1-x_i (bit complement when k = 2).
+func ComplementPattern(r kary.Radix) Permutation {
+	p := make(kary.Perm, r.Size())
+	for x := range p {
+		y := 0
+		for i := 0; i < r.N(); i++ {
+			y = r.SetDigit(y, i, r.K()-1-r.Digit(x, i))
+		}
+		p[x] = y
+	}
+	return Permutation{P: p}
+}
+
+// TransposePattern swaps the high and low halves of the digit string
+// (matrix transpose). For odd n the middle digit stays.
+func TransposePattern(r kary.Radix) Permutation {
+	p := make(kary.Perm, r.Size())
+	n := r.N()
+	for x := range p {
+		y := x
+		for i := 0; i < n/2; i++ {
+			y = r.SwapDigits(y, i, n-1-i)
+		}
+		p[x] = y
+	}
+	return Permutation{P: p}
+}
+
+// TornadoPattern sends s to (s + N/2 - 1) mod N — the classic
+// half-way rotation that stresses rings and, on MINs, defeats any
+// locality.
+func TornadoPattern(r kary.Radix) Permutation {
+	p := make(kary.Perm, r.Size())
+	n := r.Size()
+	for x := range p {
+		p[x] = (x + n/2 - 1) % n
+	}
+	return Permutation{P: p}
+}
+
+// NeighborPattern sends s to s+1 mod N — maximal locality.
+func NeighborPattern(r kary.Radix) Permutation {
+	p := make(kary.Perm, r.Size())
+	n := r.Size()
+	for x := range p {
+		p[x] = (x + 1) % n
+	}
+	return Permutation{P: p}
+}
+
+// PatternByName builds a named pattern over the clustering's radix;
+// recognized names: uniform, shuffle, butterfly<i>, bitreverse,
+// complement, transpose, tornado, neighbor. Uniform needs the
+// clustering; permutations ignore it.
+func PatternByName(name string, r kary.Radix, c Clustering) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{C: c}, nil
+	case "shuffle":
+		return ShufflePattern(r), nil
+	case "bitreverse":
+		return BitReversePattern(r), nil
+	case "complement":
+		return ComplementPattern(r), nil
+	case "transpose":
+		return TransposePattern(r), nil
+	case "tornado":
+		return TornadoPattern(r), nil
+	case "neighbor":
+		return NeighborPattern(r), nil
+	}
+	var i int
+	if n, err := fmt.Sscanf(name, "butterfly%d", &i); n == 1 && err == nil {
+		if i < 0 || i >= r.N() {
+			return nil, fmt.Errorf("traffic: butterfly index %d out of range [0, %d)", i, r.N())
+		}
+		return ButterflyPattern(r, i), nil
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+}

@@ -1,0 +1,119 @@
+package traffic
+
+import (
+	"testing"
+
+	"minsim/internal/kary"
+)
+
+func TestBitReverse(t *testing.T) {
+	r := kary.MustNew(2, 3)
+	p := BitReversePattern(r)
+	if !p.P.Valid() {
+		t.Fatal("not a permutation")
+	}
+	// 001 -> 100, 011 -> 110, 010 -> 010.
+	cases := map[int]int{0b001: 0b100, 0b011: 0b110, 0b010: 0b010, 0b111: 0b111}
+	for s, d := range cases {
+		if p.P[s] != d {
+			t.Errorf("bitreverse(%03b) = %03b, want %03b", s, p.P[s], d)
+		}
+	}
+	// Involution.
+	if !p.P.Compose(p.P).Fixed() {
+		t.Error("bit reverse should be an involution")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	r := kary.MustNew(4, 3)
+	p := ComplementPattern(r)
+	if !p.P.Valid() {
+		t.Fatal("not a permutation")
+	}
+	// 000 -> 333 (= 63), 123 -> 210.
+	if p.P[0] != 63 {
+		t.Errorf("complement(000) = %d, want 63", p.P[0])
+	}
+	s := r.FromDigits([]int{3, 2, 1}) // digits lsb-first: 123_4 = 27
+	d := r.FromDigits([]int{0, 1, 2}) // 210_4 = 36
+	if p.P[s] != d {
+		t.Errorf("complement(123) = %s, want 210", r.Format(p.P[s]))
+	}
+	// No fixed points for even k.
+	for x, y := range p.P {
+		if x == y {
+			t.Fatalf("complement has fixed point %d", x)
+		}
+	}
+	if !p.P.Compose(p.P).Fixed() {
+		t.Error("complement should be an involution")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	r := kary.MustNew(2, 4)
+	p := TransposePattern(r)
+	if !p.P.Valid() {
+		t.Fatal("not a permutation")
+	}
+	// 0011 -> 1100.
+	if p.P[0b0011] != 0b1100 {
+		t.Errorf("transpose(0011) = %04b", p.P[0b0011])
+	}
+	if !p.P.Compose(p.P).Fixed() {
+		t.Error("transpose should be an involution")
+	}
+	// Odd n keeps the middle digit: 4-ary 3 digits, 123 -> 321.
+	r3 := kary.MustNew(4, 3)
+	p3 := TransposePattern(r3)
+	s := r3.FromDigits([]int{3, 2, 1})
+	d := r3.FromDigits([]int{1, 2, 3})
+	if p3.P[s] != d {
+		t.Errorf("transpose(123) = %s, want 321", r3.Format(p3.P[s]))
+	}
+}
+
+func TestTornadoAndNeighbor(t *testing.T) {
+	r := kary.MustNew(4, 3)
+	tor := TornadoPattern(r)
+	if !tor.P.Valid() {
+		t.Fatal("tornado not a permutation")
+	}
+	if tor.P[0] != 31 || tor.P[40] != (40+31)%64 {
+		t.Errorf("tornado wrong: %d, %d", tor.P[0], tor.P[40])
+	}
+	nb := NeighborPattern(r)
+	if !nb.P.Valid() {
+		t.Fatal("neighbor not a permutation")
+	}
+	if nb.P[63] != 0 || nb.P[5] != 6 {
+		t.Error("neighbor wrong")
+	}
+	// Neither has fixed points on 64 nodes.
+	for x := 0; x < 64; x++ {
+		if tor.P[x] == x || nb.P[x] == x {
+			t.Fatalf("fixed point at %d", x)
+		}
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	r := kary.MustNew(4, 3)
+	c := Global(64)
+	for _, name := range []string{"uniform", "shuffle", "bitreverse", "complement", "transpose", "tornado", "neighbor", "butterfly1", "butterfly2"} {
+		p, err := PatternByName(name, r, c)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p == nil {
+			t.Errorf("%s: nil pattern", name)
+		}
+	}
+	if _, err := PatternByName("nope", r, c); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := PatternByName("butterfly9", r, c); err == nil {
+		t.Error("out-of-range butterfly accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package traffic generates the network workloads of Section 5 of the
+// paper: Poisson message arrivals per node with message lengths drawn
+// uniformly from {8, ..., 1024} flits, destinations drawn from one of
+// four patterns — uniform, x% nonuniform (hot spot), perfect
+// k-shuffle permutation, i-th butterfly permutation — optionally
+// scoped to processor clusters (global, cluster-16, cluster-32) with
+// per-cluster relative load ratios (e.g. 4:1:1:1).
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"minsim/internal/engine"
+	"minsim/internal/kary"
+	"minsim/internal/xrand"
+)
+
+// Pattern draws destinations for messages originating at a node.
+type Pattern interface {
+	// Dest returns a destination for a message from src, never src
+	// itself. ok = false means src generates no traffic under this
+	// pattern (e.g. a fixed point of a permutation pattern).
+	Dest(src int, rng *xrand.Source) (dst int, ok bool)
+}
+
+// Uniform sends to every other node of the source's cluster with
+// equal probability (the paper's uniform pattern).
+type Uniform struct {
+	C Clustering
+}
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, rng *xrand.Source) (int, bool) {
+	members := u.C.Members[u.C.Of[src]]
+	if len(members) < 2 {
+		return 0, false
+	}
+	for {
+		d := members[rng.Intn(len(members))]
+		if d != src {
+			return d, true
+		}
+	}
+}
+
+// HotSpot implements the paper's x% nonuniform pattern: within each
+// cluster the first node is hot and receives x% more packets. With
+// y = N·x (N the cluster size), the hot node is chosen with
+// probability (1+y)/(N+y) and each other node with 1/(N+y).
+// Draws that select the source itself are rejected and retried.
+type HotSpot struct {
+	C Clustering
+	X float64 // extra traffic fraction, e.g. 0.05 for "5% more"
+}
+
+// Dest implements Pattern.
+func (h HotSpot) Dest(src int, rng *xrand.Source) (int, bool) {
+	members := h.C.Members[h.C.Of[src]]
+	if len(members) < 2 {
+		return 0, false
+	}
+	n := float64(len(members))
+	y := n * h.X
+	pHot := (1 + y) / (n + y)
+	for {
+		var d int
+		if rng.Float64() < pHot {
+			d = members[0]
+		} else {
+			d = members[1+rng.Intn(len(members)-1)]
+		}
+		if d != src {
+			return d, true
+		}
+	}
+}
+
+// Permutation sends every message from s to P[s]. Fixed points
+// generate no traffic. The paper's two permutation workloads are the
+// perfect k-shuffle and the i-th butterfly (i = 2 in Fig. 20b).
+type Permutation struct {
+	P kary.Perm
+}
+
+// Dest implements Pattern.
+func (p Permutation) Dest(src int, rng *xrand.Source) (int, bool) {
+	d := p.P[src]
+	return d, d != src
+}
+
+// ShufflePattern returns the perfect k-shuffle permutation pattern.
+func ShufflePattern(r kary.Radix) Permutation {
+	return Permutation{P: r.ShufflePerm()}
+}
+
+// ButterflyPattern returns the i-th butterfly permutation pattern.
+func ButterflyPattern(r kary.Radix, i int) Permutation {
+	return Permutation{P: r.ButterflyPerm(i)}
+}
+
+// LengthDist draws message lengths in flits.
+type LengthDist interface {
+	Draw(rng *xrand.Source) int
+	Mean() float64
+}
+
+// UniformLen draws uniformly from [Min, Max]; the paper uses
+// Min = 8, Max = 1024 ("equal probability of being one packet between
+// eight to 1,024 flits").
+type UniformLen struct{ Min, Max int }
+
+// Draw implements LengthDist.
+func (u UniformLen) Draw(rng *xrand.Source) int { return rng.IntRange(u.Min, u.Max) }
+
+// Mean implements LengthDist.
+func (u UniformLen) Mean() float64 { return float64(u.Min+u.Max) / 2 }
+
+// FixedLen always draws the same length.
+type FixedLen struct{ L int }
+
+// Draw implements LengthDist.
+func (f FixedLen) Draw(rng *xrand.Source) int { return f.L }
+
+// Mean implements LengthDist.
+func (f FixedLen) Mean() float64 { return float64(f.L) }
+
+// BimodalLen draws Short with probability PShort, else Long — the
+// short/long/bimodal message-size study listed in the paper's future
+// work.
+type BimodalLen struct {
+	Short, Long int
+	PShort      float64
+}
+
+// Draw implements LengthDist.
+func (b BimodalLen) Draw(rng *xrand.Source) int {
+	if rng.Float64() < b.PShort {
+		return b.Short
+	}
+	return b.Long
+}
+
+// Mean implements LengthDist.
+func (b BimodalLen) Mean() float64 {
+	return b.PShort*float64(b.Short) + (1-b.PShort)*float64(b.Long)
+}
+
+// PaperLengths is the message-length distribution of Section 5.
+var PaperLengths = UniformLen{Min: 8, Max: 1024}
+
+// Workload is an engine.Source generating independent Poisson message
+// streams per node.
+type Workload struct {
+	nodes   int
+	pattern Pattern
+	lengths LengthDist
+	rates   []float64 // msgs per cycle per node
+	state   []nodeState
+}
+
+type nodeState struct {
+	rng  *xrand.Source
+	next float64
+}
+
+// Config assembles a Workload.
+type Config struct {
+	Nodes   int
+	Pattern Pattern
+	Lengths LengthDist
+	// Rates is the per-node message arrival rate in messages/cycle.
+	// Use NodeRates to derive it from a normalized flit load.
+	Rates []float64
+	Seed  uint64
+}
+
+// NewWorkload builds the workload. It validates that rates are
+// non-negative and sized to Nodes.
+func NewWorkload(cfg Config) (*Workload, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("traffic: %d nodes", cfg.Nodes)
+	}
+	if cfg.Pattern == nil || cfg.Lengths == nil {
+		return nil, fmt.Errorf("traffic: nil pattern or length distribution")
+	}
+	if len(cfg.Rates) != cfg.Nodes {
+		return nil, fmt.Errorf("traffic: %d rates for %d nodes", len(cfg.Rates), cfg.Nodes)
+	}
+	w := &Workload{
+		nodes:   cfg.Nodes,
+		pattern: cfg.Pattern,
+		lengths: cfg.Lengths,
+		rates:   append([]float64(nil), cfg.Rates...),
+		state:   make([]nodeState, cfg.Nodes),
+	}
+	base := xrand.New(cfg.Seed ^ 0xa5a5a5a55a5a5a5a)
+	for i := range w.state {
+		if w.rates[i] < 0 || math.IsNaN(w.rates[i]) {
+			return nil, fmt.Errorf("traffic: invalid rate %v for node %d", w.rates[i], i)
+		}
+		w.state[i].rng = base.Split()
+	}
+	return w, nil
+}
+
+// Next implements engine.Source: exponential interarrival times with
+// mean 1/rate, destination from the pattern, length from the length
+// distribution.
+func (w *Workload) Next(node int) (engine.Message, bool) {
+	st := &w.state[node]
+	rate := w.rates[node]
+	if rate <= 0 {
+		return engine.Message{}, false
+	}
+	dst, ok := w.pattern.Dest(node, st.rng)
+	if !ok {
+		return engine.Message{}, false
+	}
+	st.next += st.rng.Exp(1 / rate)
+	return engine.Message{
+		Src:     node,
+		Dst:     dst,
+		Len:     w.lengths.Draw(st.rng),
+		Created: int64(math.Ceil(st.next)),
+	}, true
+}
+
+// NodeRates converts a normalized offered load (mean flits per node
+// per cycle, averaged over all nodes) into per-node message rates,
+// weighting clusters by ratios (nil ratios means equal). Ratios are
+// the paper's a:b:c:d cluster load ratios: within each cluster traffic
+// is uniform, across clusters the aggregate rates follow the ratio
+// while the all-node average equals load.
+func NodeRates(c Clustering, load float64, meanLen float64, ratios []float64) ([]float64, error) {
+	if load < 0 || meanLen <= 0 {
+		return nil, fmt.Errorf("traffic: invalid load %v or mean length %v", load, meanLen)
+	}
+	nc := len(c.Members)
+	if ratios == nil {
+		ratios = make([]float64, nc)
+		for i := range ratios {
+			ratios[i] = 1
+		}
+	}
+	if len(ratios) != nc {
+		return nil, fmt.Errorf("traffic: %d ratios for %d clusters", len(ratios), nc)
+	}
+	// Total messages/cycle = load * nodes / meanLen, split across
+	// clusters proportionally to ratio_i, evenly within a cluster.
+	total := 0.0
+	for _, r := range ratios {
+		if r < 0 {
+			return nil, fmt.Errorf("traffic: negative ratio %v", r)
+		}
+		total += r
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("traffic: all-zero ratios")
+	}
+	nodes := len(c.Of)
+	rates := make([]float64, nodes)
+	msgsTotal := load * float64(nodes) / meanLen
+	for ci, members := range c.Members {
+		if len(members) == 0 {
+			continue
+		}
+		perNode := msgsTotal * ratios[ci] / total / float64(len(members))
+		for _, n := range members {
+			rates[n] = perNode
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,159 @@
+// Package xrand provides a small, fast, deterministic pseudo-random
+// number generator (xoshiro256**, seeded through splitmix64) plus the
+// distribution draws the simulator needs: uniform integers,
+// floating-point uniforms, exponential interarrival times, and
+// weighted choices. Determinism under a fixed seed is required so that
+// simulation experiments are exactly reproducible.
+package xrand
+
+import "math"
+
+// Source is a xoshiro256** generator. The zero value is invalid;
+// construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a splitmix64 state and returns the next output.
+// It is used only to expand a seed into the xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give
+// independent-looking streams; equal seeds give identical streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// A state of all zeros is the single invalid xoshiro state; the
+	// splitmix expansion cannot produce it, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+// Split derives a new independent Source from the current one. It is
+// used to give every traffic generator and arbiter its own stream so
+// adding a consumer does not perturb the draws seen by others.
+func (src *Source) Split() *Source {
+	return New(src.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (src *Source) Uint64() uint64 {
+	s := &src.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method keeps the draw unbiased.
+func (src *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := src.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+func (src *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + src.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (src *Source) Float64() float64 {
+	return float64(src.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It panics if mean <= 0.
+func (src *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("xrand: Exp with mean <= 0")
+	}
+	for {
+		u := src.Float64()
+		if u > 0 {
+			return -mean * math.Log(u)
+		}
+	}
+}
+
+// Bool returns a fair random boolean.
+func (src *Source) Bool() bool { return src.Uint64()&1 == 1 }
+
+// Perm fills a permutation of [0, n) into dst (reusing its backing
+// storage when cap allows) using Fisher-Yates, and returns it.
+func (src *Source) Perm(dst []int, n int) []int {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		j := src.Intn(i + 1)
+		dst = append(dst, 0)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
+}
+
+// WeightedChoice returns an index i with probability weights[i] /
+// sum(weights). Weights must be non-negative with a positive sum.
+func (src *Source) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: WeightedChoice with non-positive total weight")
+	}
+	x := src.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,207 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical draws of 1000", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	src := New(1)
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		for i := 0; i < 2000; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	src := New(7)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	src := New(2)
+	for i := 0; i < 5000; i++ {
+		v := src.IntRange(8, 1024)
+		if v < 8 || v > 1024 {
+			t.Fatalf("IntRange(8, 1024) = %d", v)
+		}
+	}
+	if got := src.IntRange(5, 5); got != 5 {
+		t.Errorf("IntRange(5,5) = %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	src := New(4)
+	const mean, draws = 50.0, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := src.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / draws
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp mean = %v, want about %v", got, mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	src := New(5)
+	var buf []int
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		buf = src.Perm(buf, n)
+		if len(buf) != n {
+			t.Fatalf("Perm length %d, want %d", len(buf), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range buf {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) not a permutation: %v", n, buf)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermFairness(t *testing.T) {
+	// Each element should appear in each position about equally often.
+	src := New(6)
+	const n, rounds = 4, 40000
+	counts := [n][n]int{}
+	var buf []int
+	for r := 0; r < rounds; r++ {
+		buf = src.Perm(buf, n)
+		for pos, v := range buf {
+			counts[pos][v]++
+		}
+	}
+	want := float64(rounds) / n
+	for pos := 0; pos < n; pos++ {
+		for v := 0; v < n; v++ {
+			if math.Abs(float64(counts[pos][v])-want) > 6*math.Sqrt(want) {
+				t.Errorf("position %d value %d: %d, want about %.0f", pos, v, counts[pos][v], want)
+			}
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	src := New(8)
+	weights := []float64{1, 3, 0, 4}
+	const draws = 80000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[src.WeightedChoice(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight bucket drawn %d times", counts[2])
+	}
+	for i, w := range weights {
+		want := float64(draws) * w / 8
+		if w > 0 && math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want about %.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(9)
+	b := a.Split()
+	// The split stream should not equal the parent's continuation.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split stream matches parent %d/1000 times", same)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	src := New(10)
+	for name, f := range map[string]func(){
+		"Intn(0)":       func() { src.Intn(0) },
+		"IntRange bad":  func() { src.IntRange(2, 1) },
+		"Exp(0)":        func() { src.Exp(0) },
+		"neg weight":    func() { src.WeightedChoice([]float64{-1, 2}) },
+		"empty weights": func() { src.WeightedChoice(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	src := New(11)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if src.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)-draws/2) > 5*math.Sqrt(draws/4) {
+		t.Errorf("Bool: %d trues of %d", trues, draws)
+	}
+}

@@ -1,0 +1,367 @@
+// Package minsim is a flit-level simulator and analysis toolkit for
+// switch-based wormhole multistage interconnection networks (MINs),
+// reproducing Ni, Gui and Moore, "Performance Evaluation of
+// Switch-Based Wormhole Networks" (ICPP 1995 / IEEE TPDS 9(5), 1997).
+//
+// It models the paper's four network families built from k x k
+// switches — traditional MINs (TMIN), dilated MINs (DMIN), MINs with
+// virtual channels (VMIN) and bidirectional butterfly MINs (BMIN,
+// i.e. fat trees with turnaround routing) — under the paper's traffic
+// patterns (uniform, hot spot, perfect k-shuffle and butterfly
+// permutations, with global or clustered scopes and per-cluster load
+// ratios), and measures average communication latency and normalized
+// sustainable throughput.
+//
+// This package is the high-level facade. Typical use:
+//
+//	net, _ := minsim.NewNetwork(minsim.NetworkConfig{Kind: minsim.DMIN})
+//	res, _ := minsim.Run(minsim.RunConfig{
+//		Network:  net,
+//		Workload: minsim.Workload{Pattern: minsim.Uniform},
+//		Load:     0.4,
+//	})
+//	fmt.Println(res.MeanLatencyCycles, res.Throughput)
+//
+// The building blocks live in internal packages: topology (network
+// graphs), routing (destination-tag and turnaround routing), engine
+// (the wormhole simulator), traffic (workloads), partition
+// (Section 4's partitionability theory), fattree (the Section 3.3
+// equivalence) and experiments (the Figs. 16-20 harness).
+package minsim
+
+import (
+	"fmt"
+
+	"minsim/internal/engine"
+	"minsim/internal/kary"
+	"minsim/internal/metrics"
+	"minsim/internal/routing"
+	"minsim/internal/sweep"
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+// Kind selects a network family.
+type Kind int
+
+// The four network families of the paper.
+const (
+	TMIN Kind = iota // traditional unidirectional MIN
+	DMIN             // dilated MIN (default dilation 2)
+	VMIN             // virtual-channel MIN (default 2 VCs)
+	BMIN             // bidirectional butterfly MIN / fat tree
+)
+
+// Wiring selects the interstage pattern of unidirectional networks.
+type Wiring int
+
+// Supported wirings. BMINs always use butterfly wiring. Omega and
+// Baseline are the equivalent Delta wirings discussed in the paper's
+// conclusion (Omega partitions like Cube; Baseline like Butterfly).
+const (
+	Cube Wiring = iota
+	Butterfly
+	Omega
+	Baseline
+)
+
+// NetworkConfig describes a network. The zero value, with a Kind,
+// yields the paper's standard 64-node network of 4x4 switches.
+type NetworkConfig struct {
+	Kind     Kind
+	Wiring   Wiring // unidirectional kinds only; default Cube
+	K        int    // switch arity (default 4); must be a power of two
+	Stages   int    // number of stages (default 3); N = K^Stages nodes
+	Dilation int    // DMIN channels per port (default 2)
+	VCs      int    // VMIN virtual channels per link (default 2); optional for BMIN (default 1)
+	Extra    int    // extra distribution stages for unidirectional kinds (default 0)
+}
+
+// Network is an immutable network instance; safe to share across
+// concurrent simulations.
+type Network struct {
+	topo   *topology.Network
+	router routing.Router
+}
+
+// NewNetwork builds a network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.K == 0 {
+		cfg.K = 4
+	}
+	if cfg.Stages == 0 {
+		cfg.Stages = 3
+	}
+	var (
+		topo *topology.Network
+		err  error
+	)
+	switch cfg.Kind {
+	case BMIN:
+		vcs := cfg.VCs
+		if vcs == 0 {
+			vcs = 1
+		}
+		topo, err = topology.NewBMINVC(cfg.K, cfg.Stages, vcs)
+	case TMIN, DMIN, VMIN:
+		uc := topology.UniConfig{K: cfg.K, Stages: cfg.Stages, Pattern: topology.Pattern(cfg.Wiring), Dilation: 1, VCs: 1, Extra: cfg.Extra}
+		if cfg.Kind == DMIN {
+			uc.Dilation = cfg.Dilation
+			if uc.Dilation == 0 {
+				uc.Dilation = 2
+			}
+		}
+		if cfg.Kind == VMIN {
+			uc.VCs = cfg.VCs
+			if uc.VCs == 0 {
+				uc.VCs = 2
+			}
+		}
+		topo, err = topology.NewUnidirectional(uc)
+	default:
+		return nil, fmt.Errorf("minsim: unknown network kind %d", int(cfg.Kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Network{topo: topo, router: routing.New(topo)}, nil
+}
+
+// Nodes returns the number of processor nodes.
+func (n *Network) Nodes() int { return n.topo.Nodes }
+
+// Name returns a human-readable description.
+func (n *Network) Name() string { return n.topo.Name() }
+
+// Channels returns the total virtual-channel count, the paper's
+// hardware-complexity proxy.
+func (n *Network) Channels() int { return n.topo.ChannelCount() }
+
+// Topology exposes the underlying graph for advanced use (analysis
+// tools, custom engines).
+func (n *Network) Topology() *topology.Network { return n.topo }
+
+// Pattern selects a traffic pattern.
+type Pattern int
+
+// The paper's four traffic patterns.
+const (
+	Uniform       Pattern = iota
+	HotSpot               // x% nonuniform; set Workload.HotX
+	ShufflePerm           // perfect k-shuffle permutation
+	ButterflyPerm         // i-th butterfly permutation; set Workload.ButterflyI
+)
+
+// Scope selects how nodes are clustered for traffic locality.
+type Scope int
+
+// Clustering scopes from Section 5.1.
+const (
+	Global        Scope = iota // one cluster of all nodes
+	Cluster16                  // k clusters fixing the top address digit
+	ClusterShared              // k clusters fixing the bottom digit (butterfly channel-shared)
+	Cluster32                  // two halves (binary cube)
+)
+
+// Workload describes traffic. The zero value is global uniform
+// traffic with the paper's message lengths, U{8..1024} flits.
+type Workload struct {
+	Pattern    Pattern
+	Scope      Scope
+	HotX       float64   // HotSpot extra fraction (e.g. 0.05)
+	ButterflyI int       // ButterflyPerm index (e.g. 2)
+	Ratios     []float64 // per-cluster load ratios (nil = equal)
+	MinLen     int       // message length range (default 8..1024)
+	MaxLen     int
+}
+
+func (w Workload) lengths() traffic.LengthDist {
+	if w.MinLen == 0 && w.MaxLen == 0 {
+		return traffic.PaperLengths
+	}
+	min, max := w.MinLen, w.MaxLen
+	if min == 0 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return traffic.UniformLen{Min: min, Max: max}
+}
+
+func (w Workload) clustering(r kary.Radix) traffic.Clustering {
+	switch w.Scope {
+	case Cluster16:
+		return traffic.Cluster16(r)
+	case ClusterShared:
+		return traffic.Cluster16Shared(r)
+	case Cluster32:
+		return traffic.Halves(r.Size())
+	default:
+		return traffic.Global(r.Size())
+	}
+}
+
+// source builds the engine traffic source for a load.
+func (w Workload) source(topo *topology.Network, load float64, seed uint64) (engine.Source, error) {
+	c := w.clustering(topo.R)
+	var pat traffic.Pattern
+	switch w.Pattern {
+	case Uniform:
+		pat = traffic.Uniform{C: c}
+	case HotSpot:
+		pat = traffic.HotSpot{C: c, X: w.HotX}
+	case ShufflePerm:
+		pat = traffic.ShufflePattern(topo.R)
+	case ButterflyPerm:
+		pat = traffic.ButterflyPattern(topo.R, w.ButterflyI)
+	default:
+		return nil, fmt.Errorf("minsim: unknown pattern %d", int(w.Pattern))
+	}
+	lengths := w.lengths()
+	rates, err := traffic.NodeRates(c, load, lengths.Mean(), w.Ratios)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewWorkload(traffic.Config{
+		Nodes:   topo.Nodes,
+		Pattern: pat,
+		Lengths: lengths,
+		Rates:   rates,
+		Seed:    seed,
+	})
+}
+
+// RunConfig parameterizes a single simulation.
+type RunConfig struct {
+	Network  *Network
+	Workload Workload
+	Load     float64 // offered load, flits/node/cycle
+
+	WarmupCycles  int64 // default 20,000
+	MeasureCycles int64 // default 60,000
+	Seed          uint64
+	QueueLimit    int // sustainability watermark (default 100)
+	// BufferDepth sets the per-channel flit buffer capacity
+	// (default: the paper's single-flit buffers).
+	BufferDepth int
+	// FailedChannels marks channels as permanently faulty; see
+	// Network.CriticalChannelCount and the engine documentation.
+	FailedChannels []int
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Offered float64
+	// OfferedMeasured is the load the sources actually generated in
+	// the measurement window — below Offered for permutation patterns
+	// with fixed points or silent clusters.
+	OfferedMeasured   float64
+	Throughput        float64 // delivered flits/node/cycle
+	MeanLatencyCycles float64
+	MeanLatencyMs     float64 // at the paper's 20 flits/ms channels
+	LatencyStdDev     float64
+	MessagesMeasured  int64
+	MaxSourceQueue    int
+	Sustainable       bool
+}
+
+// Run executes one simulation point.
+func Run(cfg RunConfig) (Result, error) {
+	if cfg.Network == nil {
+		return Result{}, fmt.Errorf("minsim: nil network")
+	}
+	if cfg.WarmupCycles == 0 {
+		cfg.WarmupCycles = 20_000
+	}
+	if cfg.MeasureCycles == 0 {
+		cfg.MeasureCycles = 60_000
+	}
+	src, err := cfg.Workload.source(cfg.Network.topo, cfg.Load, cfg.Seed^0x5bf03635)
+	if err != nil {
+		return Result{}, err
+	}
+	e, err := engine.New(engine.Config{
+		Net:            cfg.Network.topo,
+		Router:         cfg.Network.router,
+		Source:         src,
+		Seed:           cfg.Seed,
+		QueueLimit:     cfg.QueueLimit,
+		BufferDepth:    cfg.BufferDepth,
+		FailedChannels: cfg.FailedChannels,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	e.SetMeasureFrom(cfg.WarmupCycles)
+	e.Run(cfg.WarmupCycles + cfg.MeasureCycles)
+	st := e.Stats()
+	p := metrics.FromStats(cfg.Load, cfg.Network.topo.Nodes, st)
+	return Result{
+		Offered:           p.Offered,
+		OfferedMeasured:   p.OfferedMeasured,
+		Throughput:        p.Throughput,
+		MeanLatencyCycles: p.LatencyCyc,
+		MeanLatencyMs:     p.LatencyMs,
+		LatencyStdDev:     p.StdDev,
+		MessagesMeasured:  p.Messages,
+		MaxSourceQueue:    st.MaxQueue,
+		Sustainable:       p.Sustainable,
+	}, nil
+}
+
+// SweepConfig parameterizes a load sweep.
+type SweepConfig struct {
+	Network  *Network
+	Workload Workload
+	Loads    []float64
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          uint64
+	QueueLimit    int
+	Parallelism   int
+}
+
+// Sweep runs one simulation per load in parallel and returns the
+// latency/throughput points in load order.
+func Sweep(cfg SweepConfig) ([]Result, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("minsim: nil network")
+	}
+	if cfg.WarmupCycles == 0 {
+		cfg.WarmupCycles = 20_000
+	}
+	if cfg.MeasureCycles == 0 {
+		cfg.MeasureCycles = 60_000
+	}
+	pts, err := sweep.Run(sweep.Config{
+		Net: cfg.Network.topo,
+		Factory: func(load float64, seed uint64) (engine.Source, error) {
+			return cfg.Workload.source(cfg.Network.topo, load, seed)
+		},
+		Loads:         cfg.Loads,
+		WarmupCycles:  cfg.WarmupCycles,
+		MeasureCycles: cfg.MeasureCycles,
+		Seed:          cfg.Seed,
+		QueueLimit:    cfg.QueueLimit,
+		Parallelism:   cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(pts))
+	for i, p := range pts {
+		out[i] = Result{
+			Offered:           p.Offered,
+			OfferedMeasured:   p.OfferedMeasured,
+			Throughput:        p.Throughput,
+			MeanLatencyCycles: p.LatencyCyc,
+			MeanLatencyMs:     p.LatencyMs,
+			LatencyStdDev:     p.StdDev,
+			MessagesMeasured:  p.Messages,
+			Sustainable:       p.Sustainable,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package minsim
+
+import (
+	"fmt"
+
+	"minsim/internal/multicast"
+)
+
+// MulticastAlgorithm selects a software-multicast tree builder
+// (the paper's future-work item on multicast support; see the
+// internal/multicast package for the constructions).
+type MulticastAlgorithm int
+
+// Available multicast algorithms.
+const (
+	// SeparateAddressing unicasts from the root to every destination;
+	// the one-port architecture serializes the sends.
+	SeparateAddressing MulticastAlgorithm = iota
+	// BinomialTree forwards by recursive doubling over the given
+	// destination order.
+	BinomialTree
+	// SubtreeTree is the dimension-ordered (U-min style) binomial
+	// tree over sorted addresses, whose rounds ride disjoint subtrees
+	// on a BMIN.
+	SubtreeTree
+)
+
+// MulticastResult reports one simulated multicast.
+type MulticastResult struct {
+	Algorithm string
+	// LatencyCycles is the cycle at which the last destination held
+	// the complete message, starting from an idle network at cycle 0.
+	LatencyCycles int64
+	Unicasts      int
+	Rounds        int // forwarding tree depth
+}
+
+// Multicast simulates delivering an L-flit message from root to every
+// destination over an otherwise idle network using software
+// (unicast-based) multicast.
+func (n *Network) Multicast(alg MulticastAlgorithm, root int, dests []int, msgLen int) (MulticastResult, error) {
+	var a multicast.Algorithm
+	switch alg {
+	case SeparateAddressing:
+		a = multicast.SeparateAddressing{}
+	case BinomialTree:
+		a = multicast.Binomial{}
+	case SubtreeTree:
+		a = multicast.SubtreeAware{}
+	default:
+		return MulticastResult{}, fmt.Errorf("minsim: unknown multicast algorithm %d", int(alg))
+	}
+	res, err := multicast.Run(n.topo, a, root, dests, msgLen)
+	if err != nil {
+		return MulticastResult{}, err
+	}
+	return MulticastResult{
+		Algorithm:     res.Algorithm,
+		LatencyCycles: res.Latency,
+		Unicasts:      res.Unicasts,
+		Rounds:        res.MaxDepth,
+	}, nil
+}
+
+// Gather simulates the dual collective — a fixed-size reduction of
+// the sources' L-flit contributions into root over the same tree
+// shapes (a node forwards upward once all of its children arrived).
+func (n *Network) Gather(alg MulticastAlgorithm, root int, sources []int, msgLen int) (MulticastResult, error) {
+	var a multicast.Algorithm
+	switch alg {
+	case SeparateAddressing:
+		a = multicast.SeparateAddressing{}
+	case BinomialTree:
+		a = multicast.Binomial{}
+	case SubtreeTree:
+		a = multicast.SubtreeAware{}
+	default:
+		return MulticastResult{}, fmt.Errorf("minsim: unknown multicast algorithm %d", int(alg))
+	}
+	res, err := multicast.Gather(n.topo, a, root, sources, msgLen)
+	if err != nil {
+		return MulticastResult{}, err
+	}
+	return MulticastResult{
+		Algorithm:     res.Algorithm,
+		LatencyCycles: res.Latency,
+		Unicasts:      res.Unicasts,
+		Rounds:        res.MaxDepth,
+	}, nil
+}
