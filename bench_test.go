@@ -169,6 +169,48 @@ func BenchmarkEngineBMIN(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineLowLoad measures Run (not Step) on a trickle
+// workload where the network is empty most of the time: the
+// idle-cycle skipper fast-forwards those stretches, so the reported
+// time covers 10,000 simulated cycles per op at a small fraction of
+// the per-cycle stepping cost. idle_frac reports the fraction of
+// cycles skipped.
+func BenchmarkEngineLowLoad(b *testing.B) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{K: 4, Stages: 3, Pattern: topology.Cube, Dilation: 1, VCs: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := traffic.Global(net.Nodes)
+	rates, err := traffic.NodeRates(c, 0.005, traffic.PaperLengths.Mean(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := traffic.NewWorkload(traffic.Config{
+		Nodes:   net.Nodes,
+		Pattern: traffic.Uniform{C: c},
+		Lengths: traffic.PaperLengths,
+		Rates:   rates,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{Net: net, Source: src, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(10_000)
+	}
+	b.StopTimer()
+	st := e.Stats()
+	if st.Cycles > 0 {
+		b.ReportMetric(float64(st.IdleSkipped)/float64(st.Cycles), "idle_frac")
+	}
+}
+
 // BenchmarkTopologyBuild measures network construction cost.
 func BenchmarkTopologyBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {

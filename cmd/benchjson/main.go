@@ -1,0 +1,200 @@
+// Command benchjson runs the engine micro-benchmarks and the
+// figure-panel benchmarks in-process and writes the results as a
+// machine-readable performance baseline, BENCH_<rev>.json. Committing
+// the file after performance-relevant changes gives the repository a
+// perf trajectory: later changes are compared against the committed
+// numbers with nothing more than a diff.
+//
+// Usage:
+//
+//	benchjson                  # full run, writes BENCH_<git rev>.json
+//	benchjson -skip-figures    # engine micro-benchmarks only
+//	benchjson -out bench.json  # explicit output path
+//
+// The engine micro-benchmarks step the five paper-standard networks
+// at a moderate uniform load and report ns per simulated cycle,
+// simulated cycles per second, and allocations per cycle (the
+// steady-state Step path must stay at zero). The figure benchmarks
+// run every paper panel's full load sweep once per iteration with the
+// compact benchmark budget and report seconds per sweep.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"minsim/internal/engine"
+	"minsim/internal/experiments"
+	"minsim/internal/traffic"
+)
+
+// benchBudget mirrors the compact budget of the repo's Fig*
+// benchmarks (bench_test.go), so the two harnesses agree.
+var benchBudget = experiments.Budget{WarmupCycles: 10_000, MeasureCycles: 30_000, Seed: 1995}
+
+// EngineResult is the micro-benchmark record for one network family.
+type EngineResult struct {
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	FlitsPerCycle  float64 `json:"flits_per_cycle"`
+}
+
+// FigureResult records one figure panel's full-sweep run time.
+type FigureResult struct {
+	SecPerSweep float64 `json:"sec_per_sweep"`
+	LoadPoints  int     `json:"load_points"`
+}
+
+// Baseline is the file layout of BENCH_<rev>.json.
+type Baseline struct {
+	Revision   string                  `json:"revision"`
+	GoVersion  string                  `json:"go_version"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Budget     experiments.Budget      `json:"figure_budget"`
+	Engine     map[string]EngineResult `json:"engine"`
+	Figures    map[string]FigureResult `json:"figures"`
+}
+
+func main() {
+	var (
+		out         = flag.String("out", "", "output path (default BENCH_<rev>.json)")
+		rev         = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
+		skipFigures = flag.Bool("skip-figures", false, "run only the engine micro-benchmarks")
+	)
+	flag.Parse()
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+
+	b := Baseline{
+		Revision:   *rev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     benchBudget,
+		Engine:     map[string]EngineResult{},
+		Figures:    map[string]FigureResult{},
+	}
+
+	for _, ns := range experiments.PaperSpecs() {
+		res, flits, err := benchEngine(ns.Spec)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", ns.Name, err))
+		}
+		res.FlitsPerCycle = flits
+		b.Engine[ns.Name] = res
+		fmt.Printf("engine/%-16s %10.0f cycles/sec  %7.1f ns/cycle  %5.2f allocs/cycle\n",
+			ns.Name, res.CyclesPerSec, res.NsPerCycle, res.AllocsPerCycle)
+	}
+
+	if !*skipFigures {
+		for _, e := range experiments.Figures() {
+			e := e
+			r := testing.Benchmark(func(tb *testing.B) {
+				for i := 0; i < tb.N; i++ {
+					if _, err := e.Run(benchBudget); err != nil {
+						tb.Fatal(err)
+					}
+				}
+			})
+			b.Figures[e.ID] = FigureResult{
+				SecPerSweep: float64(r.NsPerOp()) / 1e9,
+				LoadPoints:  len(e.Loads),
+			}
+			fmt.Printf("figure/%-16s %8.2f s/sweep (%d load points)\n",
+				e.ID, float64(r.NsPerOp())/1e9, len(e.Loads))
+		}
+	}
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline written to %s\n", *out)
+}
+
+// benchEngine measures raw simulation speed for one network family:
+// a 64-node network stepping under moderate uniform load, exactly
+// like BenchmarkEngine* in bench_test.go.
+func benchEngine(spec experiments.NetworkSpec) (EngineResult, float64, error) {
+	var flitsPerCycle float64
+	var benchErr error
+	r := testing.Benchmark(func(tb *testing.B) {
+		net, err := spec.Build()
+		if err != nil {
+			benchErr = err
+			tb.Skip()
+		}
+		c := traffic.Global(net.Nodes)
+		rates, err := traffic.NodeRates(c, 0.4, traffic.PaperLengths.Mean(), nil)
+		if err != nil {
+			benchErr = err
+			tb.Skip()
+		}
+		src, err := traffic.NewWorkload(traffic.Config{
+			Nodes:   net.Nodes,
+			Pattern: traffic.Uniform{C: c},
+			Lengths: traffic.PaperLengths,
+			Rates:   rates,
+			Seed:    1,
+		})
+		if err != nil {
+			benchErr = err
+			tb.Skip()
+		}
+		e, err := engine.New(engine.Config{Net: net, Source: src, Seed: 1})
+		if err != nil {
+			benchErr = err
+			tb.Skip()
+		}
+		tb.ReportAllocs()
+		tb.ResetTimer()
+		for i := 0; i < tb.N; i++ {
+			e.Step()
+		}
+		tb.StopTimer()
+		if st := e.Stats(); st.Cycles > 0 {
+			flitsPerCycle = float64(st.DeliveredFlits) / float64(st.Cycles)
+		}
+	})
+	if benchErr != nil {
+		return EngineResult{}, 0, benchErr
+	}
+	ns := float64(r.NsPerOp())
+	return EngineResult{
+		NsPerCycle:     ns,
+		CyclesPerSec:   1e9 / ns,
+		AllocsPerCycle: float64(r.AllocsPerOp()),
+		BytesPerCycle:  float64(r.AllocedBytesPerOp()),
+	}, flitsPerCycle, nil
+}
+
+// gitRev returns the short HEAD revision, or "dev" outside a git
+// checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

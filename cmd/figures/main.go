@@ -5,6 +5,7 @@
 //
 //	figures [-id fig18a] [-list] [-csv] [-quick] [-out DIR]
 //	        [-warmup N] [-measure N] [-seed S] [-procs P]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Without -id it runs every paper figure. With -out it writes one
 // CSV file per figure into DIR; otherwise it prints tables to stdout.
@@ -17,6 +18,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"minsim/internal/cli"
 	"minsim/internal/experiments"
 	"minsim/internal/report"
 )
@@ -36,8 +38,18 @@ func main() {
 		measure = flag.Int64("measure", 0, "override measurement cycles")
 		seed    = flag.Uint64("seed", 0, "override random seed")
 		procs   = flag.Int("procs", 0, "parallel simulations per figure (0 = GOMAXPROCS)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	exps := experiments.Figures()
 	if *ext {

@@ -7,6 +7,7 @@
 //
 //	sweep -net bmin -pattern uniform -from 0.05 -to 0.9 -points 12
 //	sweep -net vmin -vcs 4 -pattern hotspot -hotx 0.1 -csv
+//	sweep -net bmin -cpuprofile cpu.out -memprofile mem.out   # profile the hot path
 package main
 
 import (
@@ -42,8 +43,17 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		procs   = flag.Int("procs", 0, "parallel points (0 = GOMAXPROCS)")
 		csv     = flag.Bool("csv", false, "emit CSV")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	kv, err := cli.ParseKind(*netName)
 	if err != nil {

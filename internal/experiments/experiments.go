@@ -37,6 +37,26 @@ var (
 	BMINButterfly = NetworkSpec{Kind: topology.BMIN, K: 4, Stages: 3}
 )
 
+// NamedSpec pairs a paper-standard network spec with a stable name,
+// for harnesses that iterate over all five evaluation networks (the
+// determinism regression tests, cmd/benchjson).
+type NamedSpec struct {
+	Name string
+	Spec NetworkSpec
+}
+
+// PaperSpecs returns the five network configurations of the paper's
+// evaluation, in a fixed order.
+func PaperSpecs() []NamedSpec {
+	return []NamedSpec{
+		{"tmin-cube", TMINCube},
+		{"tmin-butterfly", TMINButterfly},
+		{"dmin-cube", DMINCube},
+		{"vmin-cube", VMINCube},
+		{"bmin-butterfly", BMINButterfly},
+	}
+}
+
 // Build constructs the network.
 func (s NetworkSpec) Build() (*topology.Network, error) {
 	switch s.Kind {
