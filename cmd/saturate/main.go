@@ -76,13 +76,6 @@ func main() {
 	}
 }
 
-func sourceFactory(w experiments.WorkloadSpec, net interface {
-	// the concrete *topology.Network satisfies this trivially; the
-	// indirection keeps the experiments dependency one-way.
-}) sweep.SourceFactory {
-	panic("replaced below")
-}
-
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "saturate: %v\n", err)
 	os.Exit(1)

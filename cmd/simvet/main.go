@@ -1,0 +1,154 @@
+// Command simvet runs the simulator's custom static-analysis suite
+// (package internal/simvet): detrand and mapiter enforce bit-exact
+// determinism of the engine/routing/sweep/traffic packages, hotalloc
+// enforces the zero-allocation Step contract from //simvet:hotpath
+// roots, and statscomplete catches engine.Stats fields rotting into
+// write-only counters.
+//
+// Usage:
+//
+//	simvet [-run detrand,mapiter] [packages]
+//
+// Packages default to ./... (the whole module). Patterns are matched
+// against import paths: "./..." selects everything, "./internal/engine"
+// or any import-path suffix selects one package. Exit status is 1 if
+// any diagnostic is reported.
+//
+// The suite is self-contained (standard library only), so it runs as
+// `go run ./cmd/simvet ./...` with no tool installation; the CI job
+// `simvet` does exactly that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"minsim/internal/simvet"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	all := simvet.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := all
+	if *runList != "" {
+		byName := make(map[string]*simvet.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mod, err := simvet.LoadModule(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	diags, err := simvet.RunAnalyzers(mod, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := selectPaths(mod, patterns)
+
+	n := 0
+	for _, d := range diags {
+		if !selected[packageOf(mod, d.Pos.Filename)] {
+			continue
+		}
+		fmt.Println(d)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "simvet: %d invariant violation(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("simvet: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// selectPaths resolves package patterns to the set of import paths.
+func selectPaths(mod *simvet.Module, patterns []string) map[string]bool {
+	out := make(map[string]bool)
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" || pat == mod.Path+"/..." {
+			for _, p := range mod.Packages {
+				out[p.Path] = true
+			}
+			continue
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/...")
+		matched := false
+		for _, p := range mod.Packages {
+			if p.Path == pat || strings.HasSuffix(p.Path, "/"+pat) ||
+				strings.HasPrefix(p.Path, mod.Path+"/"+pat) {
+				out[p.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			fatalf("pattern %q matches no package in module %s", pat, mod.Path)
+		}
+	}
+	return out
+}
+
+// packageOf maps a diagnostic's file back to its package import path.
+func packageOf(mod *simvet.Module, file string) string {
+	dir := filepath.Dir(file)
+	for _, p := range mod.Packages {
+		if p.Dir == dir {
+			return p.Path
+		}
+	}
+	return ""
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simvet: "+format+"\n", args...)
+	os.Exit(1)
+}

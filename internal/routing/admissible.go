@@ -33,6 +33,7 @@ func PermutationSharing(net *topology.Network, r Router, perm kary.Perm) Sharing
 			use[c]++
 		}
 	}
+	//simvet:orderfree — max and a threshold count both commute
 	for _, n := range use {
 		if n > s.MaxShare {
 			s.MaxShare = n

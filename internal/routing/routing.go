@@ -43,7 +43,10 @@ func New(net *topology.Network) Router {
 // one for a TMIN, d for a DMIN, m virtual channels for a VMIN.
 type DestinationTag struct{}
 
-// Candidates implements Router.
+// Candidates implements Router. It runs once per blocked head per
+// path extension inside the engine's allocation phase.
+//
+//simvet:hotpath
 func (DestinationTag) Candidates(dst []int, net *topology.Network, in *topology.Channel, dest int) []int {
 	sw := &net.Switches[in.To.Switch]
 	if sw.Stage < net.Extra {
@@ -74,7 +77,10 @@ func (DestinationTag) Candidates(dst []int, net *topology.Network, in *topology.
 // backward path taking left output port d_j at each stage j.
 type Turnaround struct{}
 
-// Candidates implements Router.
+// Candidates implements Router. It runs once per blocked head per
+// path extension inside the engine's allocation phase.
+//
+//simvet:hotpath
 func (Turnaround) Candidates(dst []int, net *topology.Network, in *topology.Channel, dest int) []int {
 	if net.Kind != topology.BMIN {
 		panic("routing: Turnaround router on a non-BMIN network")

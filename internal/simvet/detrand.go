@@ -1,0 +1,74 @@
+package simvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetRand forbids nondeterministic randomness and wall-clock time in
+// the deterministic packages. Simulation results must be a pure
+// function of the configured seed: every draw flows through an
+// internal/xrand stream and every timestamp is the engine's cycle
+// counter. math/rand without an explicit seed, math/rand/v2 (which
+// cannot be globally seeded at all) and crypto/rand are banned
+// outright, as are time.Now and time.Since — a wall-clock read in the
+// engine is a hidden input that breaks replayability.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, math/rand/v2, crypto/rand and time.Now in deterministic packages; all randomness must come from internal/xrand",
+	Run:  runDetRand,
+}
+
+// forbiddenRandImports maps banned import paths to the reason.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "global state and process-wide seeding break per-stream reproducibility",
+	"math/rand/v2": "auto-seeded, cannot reproduce a run from a recorded seed",
+	"crypto/rand":  "cryptographic entropy is nondeterministic by design",
+}
+
+func runDetRand(pass *Pass) error {
+	if pass.Pkg == nil || !isDeterministicPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenRandImports[p]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package (%s); draw from an internal/xrand seeded stream instead", p, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(), "time.%s in deterministic package; simulated time is the engine's cycle counter, wall-clock reads make runs irreproducible", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil
+// for calls through function values, builtins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,83 @@
+package simvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in the deterministic packages.
+// Go randomizes map-iteration order per run, so any map range whose
+// body's effect depends on visit order silently breaks bit-exact
+// reproducibility — the classic simulator determinism killer.
+//
+// Two escapes are recognized:
+//
+//   - the key-harvest idiom, `for k := range m { keys = append(keys, k) }`,
+//     whose result is order-insensitive up to the sort that must follow;
+//   - an explicit `//simvet:orderfree` annotation on (or directly
+//     above) the range statement, asserting the body is
+//     order-insensitive; the annotation should say why.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid order-sensitive map iteration in deterministic packages; sort the keys or annotate //simvet:orderfree",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	if pass.Pkg == nil || !isDeterministicPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		allowed := directiveLines(pass.Fset, f, "simvet:orderfree")
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rs.Pos()).Line
+			if allowed[line] || allowed[line-1] {
+				return true
+			}
+			if isKeyHarvest(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over a map: iteration order is nondeterministic; iterate over sorted keys, or annotate the loop //simvet:orderfree if the body is order-insensitive")
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyHarvest reports whether the range statement is exactly the
+// key-collection idiom `for k := range m { s = append(s, k) }`, which
+// is order-insensitive once the collected keys are sorted.
+func isKeyHarvest(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if types.ExprString(asg.Lhs[0]) != types.ExprString(call.Args[0]) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

@@ -1,0 +1,188 @@
+// Package simvet is a suite of static analyzers that enforce the
+// simulator's two load-bearing, non-local properties at review time
+// rather than at runtime:
+//
+//   - bit-exact determinism: the engine, the routers, the sweep harness
+//     and the traffic generators must draw every random number from
+//     internal/xrand seeded streams, never consult wall-clock time, and
+//     never let Go's randomized map-iteration order leak into results
+//     (analyzers detrand and mapiter);
+//
+//   - a zero-allocation steady-state Step path: functions reachable
+//     from //simvet:hotpath roots must not call fmt formatting, build
+//     closures, make fresh slices/maps, or box values into interfaces
+//     (analyzer hotalloc, backing the 0 allocs/op baseline in
+//     BENCH_*.json);
+//
+// plus one rot detector: every field of engine.Stats must be both
+// written by the engine and read somewhere — a counter nobody consumes
+// is a bug waiting to be trusted (analyzer statscomplete).
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, `// want` fixtures) but is built purely
+// on the standard library's go/ast, go/parser and go/types so the
+// module stays dependency-free; if x/tools is ever vendored, each
+// analyzer ports mechanically. Run it with `go run ./cmd/simvet ./...`
+// or through the `simvet` CI job.
+//
+// Annotations recognized in source comments:
+//
+//	//simvet:hotpath   on a function declaration: the function is a
+//	                   steady-state hot-path root; hotalloc checks it
+//	                   and everything it (transitively) calls within
+//	                   the same package.
+//	//simvet:orderfree on (or immediately above) a `range` statement
+//	                   over a map: the loop body is order-insensitive,
+//	                   so the nondeterministic iteration order is
+//	                   harmless. Justify the claim in the same comment.
+package simvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. This mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run) minus the
+// dependency-injection machinery the suite does not need.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package plus a
+// view of the whole module (statscomplete needs cross-package reads).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string      // package import path
+	Files    []*ast.File // non-test files, type-checked
+	Pkg      *types.Package
+	Info     *types.Info
+	Module   *Module // every package of the module under analysis
+
+	Report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRand, MapIter, HotAlloc, StatsComplete}
+}
+
+// deterministicSuffixes lists the packages whose results must be a
+// pure function of the seed. Matching is by import-path suffix so the
+// analysistest fixtures (whose modules have their own names) exercise
+// the same classification as the real module.
+var deterministicSuffixes = []string{
+	"internal/engine",
+	"internal/routing",
+	"internal/sweep",
+	"internal/traffic",
+	"internal/xrand",
+}
+
+// isDeterministicPackage reports whether the import path names one of
+// the packages under the determinism contract.
+func isDeterministicPackage(path string) bool {
+	for _, sfx := range deterministicSuffixes {
+		if path == sfx || strings.HasSuffix(path, "/"+sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the comment group carries the given
+// //simvet: directive (prose may follow the directive on the line).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines returns the line numbers of every comment in the file
+// that carries the given //simvet: directive. A directive applies to
+// the statement on its own line (trailing comment) or on the line
+// directly below (standalone comment).
+func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
+	var lines map[int]bool
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, "//"+directive) {
+				if lines == nil {
+					lines = make(map[int]bool)
+				}
+				lines[fset.Position(c.Slash).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// RunAnalyzers applies the analyzers to every package of the module
+// and returns the diagnostics sorted by position.
+func RunAnalyzers(mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     mod.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Module:   mod,
+				Report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,36 @@
+package simvet
+
+import "testing"
+
+// Each analyzer must fire on its seeded-violation fixture and stay
+// quiet on the fixture's legitimate patterns (the sorted-key iteration
+// idiom, the xrand package itself, panic arguments, pooled appends).
+
+func TestDetRandFixture(t *testing.T) { runFixture(t, "detrand", DetRand) }
+
+func TestMapIterFixture(t *testing.T) { runFixture(t, "mapiter", MapIter) }
+
+func TestHotAllocFixture(t *testing.T) { runFixture(t, "hotalloc", HotAlloc) }
+
+func TestStatsCompleteFixture(t *testing.T) { runFixture(t, "statscomplete", StatsComplete) }
+
+// TestRepoInvariantsClean runs the whole suite over the real module —
+// the same gate as `go run ./cmd/simvet ./...` and the simvet CI job,
+// enforced from `go test ./...` as well so the invariants hold even
+// where only the tier-1 command runs.
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module (plus stdlib from source); skipped in -short")
+	}
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := RunAnalyzers(mod, Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

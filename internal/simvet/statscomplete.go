@@ -1,0 +1,132 @@
+package simvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsComplete is a rot detector for the engine's measurement
+// surface: every field of the engine `Stats` struct must be written by
+// the engine package and read somewhere in the module — by a reporter
+// package, a Stats accessor method, or a test. A counter that is
+// incremented but never consumed (or declared but never maintained)
+// is worse than missing: it looks trustworthy in the struct while
+// measuring nothing.
+//
+// Writes are detected precisely, via the type checker, in the engine
+// package's non-test files (assignments, compound assignments and
+// ++/--). Reads are detected via the type checker in every compiled
+// package, plus a name-based syntactic scan of every *_test.go file
+// in the module — test files are not type-checked (vet's unit model),
+// and several counters (StallCycles, InjectedFlits, IdleSkipped) are
+// consumed only by tests and benchmarks.
+var StatsComplete = &Analyzer{
+	Name: "statscomplete",
+	Doc:  "every engine Stats field must be written by the engine and consumed by a reporter, accessor or test",
+	Run:  runStatsComplete,
+}
+
+func runStatsComplete(pass *Pass) error {
+	// Run once, on the engine package that declares Stats.
+	if pass.Pkg == nil || pass.Pkg.Name() != "engine" {
+		return nil
+	}
+	obj := pass.Pkg.Scope().Lookup("Stats")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := make(map[*types.Var]bool, st.NumFields())
+	names := make(map[string]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fields[f] = true
+		names[f.Name()] = f
+	}
+	written := make(map[*types.Var]bool)
+	read := make(map[*types.Var]bool)
+
+	for _, p := range pass.Module.Packages {
+		if p.Info != nil {
+			engineWrites := p.Types == pass.Pkg
+			for _, f := range p.Files {
+				scanTypedStatsUses(p.Info, f, fields, engineWrites, written, read)
+			}
+		}
+		// Test files are AST-only; a selector with a matching field
+		// name counts as consumption. Composite-literal keys
+		// (engine.Stats{Cycles: ...}) are plain identifiers, not
+		// selectors, so construction does not count as a read.
+		for _, f := range p.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if fv, ok := names[sel.Sel.Name]; ok {
+					read[fv] = true
+				}
+				return true
+			})
+		}
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch {
+		case !written[f] && !read[f]:
+			pass.Reportf(f.Pos(), "Stats field %s is dead: the engine never writes it and nothing reads it", f.Name())
+		case !written[f]:
+			pass.Reportf(f.Pos(), "Stats field %s is never written by the engine; it reports a constant zero to every consumer", f.Name())
+		case !read[f]:
+			pass.Reportf(f.Pos(), "Stats field %s is write-only: the engine maintains it but no reporter, accessor or test consumes it", f.Name())
+		}
+	}
+	return nil
+}
+
+// scanTypedStatsUses classifies every selection of a Stats field in
+// one type-checked file as a write (assignment target in the engine)
+// or a read.
+func scanTypedStatsUses(info *types.Info, f *ast.File, fields map[*types.Var]bool, engineWrites bool, written, read map[*types.Var]bool) {
+	// Collect the selector expressions that appear as assignment
+	// targets, so the second walk can classify them.
+	writeTargets := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writeTargets[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writeTargets[ast.Unparen(n.X)] = true
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := selection.Obj().(*types.Var)
+		if !ok || !fields[fv] {
+			return true
+		}
+		if writeTargets[sel] {
+			if engineWrites {
+				written[fv] = true
+			}
+		} else {
+			read[fv] = true
+		}
+		return true
+	})
+}

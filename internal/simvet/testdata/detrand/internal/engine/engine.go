@@ -1,0 +1,21 @@
+// Package engine is a deterministic-package fixture seeded with every
+// randomness source detrand must reject.
+package engine
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand in deterministic package`
+	mrand "math/rand"   // want `import of math/rand in deterministic package`
+	"time"
+
+	"detfix/internal/xrand"
+)
+
+// Step draws from the wrong places.
+func Step(src *xrand.Source) int {
+	n := mrand.Intn(4)
+	var buf [1]byte
+	crand.Read(buf[:])
+	start := time.Now()            // want `time.Now in deterministic package`
+	_ = time.Since(start)          // want `time.Since in deterministic package`
+	return n + int(buf[0]) + src.Intn(4)
+}

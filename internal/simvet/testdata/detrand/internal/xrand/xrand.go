@@ -1,0 +1,30 @@
+// Package xrand mirrors the real module's seeded generator: it is
+// itself inside the deterministic set, and detrand must accept it —
+// its randomness is pure arithmetic on the seeded state, and its use
+// of package math (not math/rand) is legitimate.
+package xrand
+
+import "math"
+
+// Source is a toy seeded generator.
+type Source struct{ s uint64 }
+
+// New seeds a Source.
+func New(seed uint64) *Source { return &Source{s: seed | 1} }
+
+// Uint64 advances the stream.
+func (src *Source) Uint64() uint64 {
+	src.s ^= src.s << 13
+	src.s ^= src.s >> 7
+	src.s ^= src.s << 17
+	return src.s
+}
+
+// Intn returns a value in [0, n).
+func (src *Source) Intn(n int) int { return int(src.Uint64() % uint64(n)) }
+
+// Exp returns an exponential draw with the given mean.
+func (src *Source) Exp(mean float64) float64 {
+	u := float64(src.Uint64()>>11) * (1.0 / (1 << 53))
+	return -mean * math.Log(1-u)
+}

@@ -1,0 +1,53 @@
+// Package engine is a hotalloc fixture: Step is a //simvet:hotpath
+// root, helper is reachable from it and carries one of each banned
+// allocation, panic arguments and unreachable functions are exempt.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Engine is a toy engine.
+type Engine struct {
+	n     int
+	xs    []int
+	order []int
+}
+
+// Step is the steady-state root.
+//
+//simvet:hotpath
+func (e *Engine) Step() {
+	e.helper()
+	e.guarded()
+}
+
+// helper is reachable from Step, so every allocating construct in it
+// must be flagged.
+func (e *Engine) helper() {
+	_ = fmt.Sprintf("n=%d", e.n) // want `fmt.Sprintf in hot-path function helper`
+	f := func() int { return e.n } // want `closure literal in hot-path function helper`
+	_ = f
+	buf := make([]int, 8) // want `make in hot-path function helper`
+	_ = buf
+	e.xs = append([]int(nil), e.xs...) // want `append onto a fresh slice in hot-path function helper`
+	sink(e.n)                          // want `value of type int converted to interface`
+	sink(&e.n)                         // pointer: fits the interface word, accepted
+	e.order = append(e.order, e.n)     // amortized append onto pooled state, accepted
+	sort.Ints(e.order)                 // non-interface parameter, accepted
+}
+
+// guarded allocates only inside a panic argument — the invariant
+// message never runs in steady state, so it is exempt.
+func (e *Engine) guarded() {
+	if e.n < 0 {
+		panic(fmt.Sprintf("engine: negative n %d", e.n))
+	}
+}
+
+// cold is not reachable from any hot-path root; its allocations are
+// fine.
+func cold(n int) string { return fmt.Sprintf("cold %d", n) }
+
+func sink(v any) { _ = v }

@@ -1,0 +1,57 @@
+// Package engine is a deterministic-package fixture for mapiter: the
+// engine's sorted-key iteration pattern must be accepted, an unsorted
+// clone of the same loop must be rejected, and //simvet:orderfree
+// must allowlist an order-insensitive body.
+package engine
+
+import "sort"
+
+// DrainSorted mirrors the real engine's pattern (allocate's qlive
+// scan): harvest the map keys, sort them, and iterate the slice. Both
+// loops must pass — the harvest body is order-insensitive and the
+// second loop ranges a slice, not a map.
+func DrainSorted(queues map[int][]int) []int {
+	keys := make([]int, 0, len(queues))
+	for node := range queues {
+		keys = append(keys, node)
+	}
+	sort.Ints(keys)
+	var out []int
+	for _, node := range keys {
+		out = append(out, queues[node]...)
+	}
+	return out
+}
+
+// DrainUnsorted is the unsorted clone of DrainSorted: the output
+// order follows the randomized map order, so it must be rejected.
+func DrainUnsorted(queues map[int][]int) []int {
+	var out []int
+	for _, q := range queues { // want `range over a map: iteration order is nondeterministic`
+		out = append(out, q...)
+	}
+	return out
+}
+
+// TotalQueued really is order-insensitive (integer sum), which the
+// annotation asserts; it must be accepted.
+func TotalQueued(queues map[int][]int) int {
+	total := 0
+	//simvet:orderfree — summing commutes, order cannot leak into the result
+	for _, q := range queues {
+		total += len(q)
+	}
+	return total
+}
+
+// MaxQueued has an order-insensitive body but no annotation and no
+// sort; the trailing-comment form of the annotation is also accepted.
+func MaxQueued(queues map[int][]int) int {
+	max := 0
+	for _, q := range queues { //simvet:orderfree — max commutes
+		if len(q) > max {
+			max = len(q)
+		}
+	}
+	return max
+}

@@ -1,0 +1,33 @@
+// Package engine is a statscomplete fixture: one healthy counter, one
+// write-only counter, one never-written field, and one fully dead
+// field.
+package engine
+
+// Stats mirrors the real engine's measurement struct.
+type Stats struct {
+	Delivered   int64 // healthy: written below, read by the report package
+	StallCycles int64 // healthy: written below, read only by a test file
+	Rotted      int64 // want `Stats field Rotted is write-only`
+	Phantom     int64 // want `Stats field Phantom is never written by the engine`
+	Dead        int64 // want `Stats field Dead is dead`
+}
+
+// Engine accumulates stats.
+type Engine struct{ stats Stats }
+
+// Step advances one cycle.
+func (e *Engine) Step(moved bool) {
+	e.stats.Delivered++
+	e.stats.Rotted += 2
+	if !moved {
+		e.stats.StallCycles++
+	}
+}
+
+// Stats returns a snapshot.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// phantomReader consumes Phantom without the engine ever writing it.
+func phantomReader(s Stats) int64 { return s.Phantom }
+
+var _ = phantomReader

@@ -1,0 +1,13 @@
+package engine
+
+import "testing"
+
+// TestStall consumes StallCycles from a test file — the analyzer's
+// syntactic test-file scan must count this as consumption.
+func TestStall(t *testing.T) {
+	var e Engine
+	e.Step(false)
+	if e.Stats().StallCycles != 1 {
+		t.Fatal("stall not counted")
+	}
+}

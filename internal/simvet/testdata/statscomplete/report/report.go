@@ -1,0 +1,7 @@
+// Package report consumes the healthy Stats field.
+package report
+
+import "statfix/internal/engine"
+
+// Delivered reports the delivered count.
+func Delivered(e *engine.Engine) int64 { return e.Stats().Delivered }
