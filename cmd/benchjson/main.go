@@ -10,6 +10,14 @@
 //	benchjson                  # full run, writes BENCH_<git rev>.json
 //	benchjson -skip-figures    # engine micro-benchmarks only
 //	benchjson -out bench.json  # explicit output path
+//	benchjson -diff [-threshold 0.05] old.json new.json
+//
+// Diff mode compares two committed baselines: per engine family it
+// prints the ns/cycle and flits/cycle deltas (plus the figure-sweep
+// deltas when both files carry them) and exits non-zero if any
+// family's ns/cycle regressed by more than the threshold fraction or
+// gained allocations per cycle. A negative threshold reports without
+// gating — the informational mode used by CI.
 //
 // The engine micro-benchmarks step the five paper-standard networks
 // at a moderate uniform load and report ns per simulated cycle,
@@ -26,6 +34,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -68,8 +77,20 @@ func main() {
 		out         = flag.String("out", "", "output path (default BENCH_<rev>.json)")
 		rev         = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
 		skipFigures = flag.Bool("skip-figures", false, "run only the engine micro-benchmarks")
+		diff        = flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of benchmarking")
+		threshold   = flag.Float64("threshold", 0.05, "diff mode: allowed ns/cycle regression fraction; negative disables gating")
 	)
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two baseline files, got %d", flag.NArg()))
+		}
+		if err := diffBaselines(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *rev == "" {
 		*rev = gitRev()
@@ -182,6 +203,80 @@ func benchEngine(spec experiments.NetworkSpec) (EngineResult, float64, error) {
 		AllocsPerCycle: float64(r.AllocsPerOp()),
 		BytesPerCycle:  float64(r.AllocedBytesPerOp()),
 	}, flitsPerCycle, nil
+}
+
+// diffBaselines prints the per-family engine deltas (and figure
+// deltas when present in both files) between two baselines and
+// returns an error if any family's ns/cycle regressed past the
+// threshold fraction or picked up per-cycle allocations. A negative
+// threshold never fails — purely informational output.
+func diffBaselines(oldPath, newPath string, threshold float64) error {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline %s (%s) -> %s (%s), ns/cycle regression threshold %+.0f%%\n",
+		oldB.Revision, oldPath, newB.Revision, newPath, threshold*100)
+
+	var regressions []string
+	for _, name := range sortedKeys(oldB.Engine) {
+		o := oldB.Engine[name]
+		n, ok := newB.Engine[name]
+		if !ok {
+			fmt.Printf("engine/%-16s missing from %s\n", name, newPath)
+			continue
+		}
+		rel := n.NsPerCycle/o.NsPerCycle - 1
+		fmt.Printf("engine/%-16s %7.0f -> %7.0f ns/cycle (%+6.1f%%)  %6.2f -> %6.2f flits/cycle  %.2f -> %.2f allocs/cycle\n",
+			name, o.NsPerCycle, n.NsPerCycle, rel*100,
+			o.FlitsPerCycle, n.FlitsPerCycle, o.AllocsPerCycle, n.AllocsPerCycle)
+		if threshold >= 0 && rel > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s ns/cycle %+.1f%%", name, rel*100))
+		}
+		if threshold >= 0 && n.AllocsPerCycle > o.AllocsPerCycle {
+			regressions = append(regressions, fmt.Sprintf("%s allocs/cycle %.2f -> %.2f", name, o.AllocsPerCycle, n.AllocsPerCycle))
+		}
+	}
+	for _, name := range sortedKeys(oldB.Figures) {
+		o := oldB.Figures[name]
+		n, ok := newB.Figures[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("figure/%-16s %8.2f -> %8.2f s/sweep (%+6.1f%%)\n",
+			name, o.SecPerSweep, n.SecPerSweep, (n.SecPerSweep/o.SecPerSweep-1)*100)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance regressed past threshold: %s", strings.Join(regressions, "; "))
+	}
+	return nil
+}
+
+// loadBaseline reads one BENCH_<rev>.json file.
+func loadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// sortedKeys returns the map's keys in stable order for display.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // gitRev returns the short HEAD revision, or "dev" outside a git

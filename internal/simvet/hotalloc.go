@@ -112,7 +112,7 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure literal in hot-path function %s: captured variables escape to the heap; hoist reusable state onto the Engine (cf. the byID sorter)", fd.Name.Name)
+			pass.Reportf(n.Pos(), "closure literal in hot-path function %s: captured variables escape to the heap; hoist reusable state onto the Engine", fd.Name.Name)
 			return false
 		case *ast.CallExpr:
 			return checkHotCall(pass, fd, n)

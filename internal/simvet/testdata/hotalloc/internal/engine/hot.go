@@ -21,6 +21,7 @@ type Engine struct {
 func (e *Engine) Step() {
 	e.helper()
 	e.guarded()
+	e.route()
 }
 
 // helper is reachable from Step, so every allocating construct in it
@@ -51,3 +52,35 @@ func (e *Engine) guarded() {
 func cold(n int) string { return fmt.Sprintf("cold %d", n) }
 
 func sink(v any) { _ = v }
+
+// Table mirrors the engine's flat route-table idiom: one shared
+// arena, a dense offset index, and a Lookup that returns a read-only
+// view into the arena.
+type Table struct {
+	off   []int32
+	arena []int32
+}
+
+// Lookup slices the pooled arena — no allocation, so a hot-path root
+// carrying the annotation must stay clean.
+//
+//simvet:hotpath
+func (t *Table) Lookup(i int) []int32 {
+	return t.arena[t.off[i]:t.off[i+1]] // index into shared arena, accepted
+}
+
+// tab is package state so route needs no parameters.
+var tab = &Table{off: []int32{0, 0}, arena: nil}
+
+// route exercises the table-lookup consumption idiom reachable from
+// Step: ranging over an arena view and appending its elements onto
+// pooled engine state allocates nothing and must not be flagged.
+func (e *Engine) route() {
+	for _, c := range tab.Lookup(0) {
+		e.order = append(e.order, int(c)) // pooled append of arena-sourced values, accepted
+	}
+	span := tab.Lookup(0)               // arena view in a local, accepted
+	_ = span
+	grown := append(tab.Lookup(0), 1) // want `append onto a fresh slice in hot-path function route`
+	_ = grown
+}
