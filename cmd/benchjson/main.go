@@ -24,7 +24,10 @@
 // simulated cycles per second, and allocations per cycle (the
 // steady-state Step path must stay at zero). The figure benchmarks
 // run every paper panel's full load sweep once per iteration with the
-// compact benchmark budget and report seconds per sweep.
+// compact benchmark budget and report seconds per sweep. The sweeps
+// go through the simrun plan layer like the real figures, but with no
+// result store attached: every iteration simulates from scratch, so
+// the timings can never be polluted by cache hits.
 package main
 
 import (

@@ -5,39 +5,53 @@
 //
 //	figures [-id fig18a] [-list] [-csv] [-quick] [-out DIR]
 //	        [-warmup N] [-measure N] [-seed S] [-procs P]
+//	        [-cache DIR] [-progress]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Without -id it runs every paper figure. With -out it writes one
 // CSV file per figure into DIR; otherwise it prints tables to stdout.
+//
+// All selected experiments execute as a single simrun plan: load
+// points shared between figure panels simulate once, and results land
+// in a content-addressed cache (-cache, default results/cache; -cache
+// "" disables) so a re-run with the same budget executes zero
+// simulations and an interrupted run (SIGINT/SIGTERM) resumes from
+// every point it completed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"minsim/internal/cli"
 	"minsim/internal/experiments"
 	"minsim/internal/report"
+	"minsim/internal/simrun"
 )
 
 func main() {
 	var (
-		id      = flag.String("id", "", "run a single experiment by id (e.g. fig18a, ext-cluster32)")
-		file    = flag.String("file", "", "run a custom experiment from a JSON definition file")
-		rep     = flag.String("report", "", "run every paper figure, evaluate the machine-checkable claims, and write a markdown reproduction report to this file")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
-		plot    = flag.Bool("plot", false, "render ASCII latency/throughput plots")
-		quick   = flag.Bool("quick", false, "use the quick budget (shorter runs, noisier curves)")
-		ext     = flag.Bool("extensions", false, "also run the extension experiments")
-		outDir  = flag.String("out", "", "write per-figure CSV files into this directory")
-		warmup  = flag.Int64("warmup", 0, "override warmup cycles")
-		measure = flag.Int64("measure", 0, "override measurement cycles")
-		seed    = flag.Uint64("seed", 0, "override random seed")
-		procs   = flag.Int("procs", 0, "parallel simulations per figure (0 = GOMAXPROCS)")
+		id       = flag.String("id", "", "run a single experiment by id (e.g. fig18a, ext-cluster32)")
+		file     = flag.String("file", "", "run a custom experiment from a JSON definition file")
+		rep      = flag.String("report", "", "run every paper figure, evaluate the machine-checkable claims, and write a markdown reproduction report to this file")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		plot     = flag.Bool("plot", false, "render ASCII latency/throughput plots")
+		quick    = flag.Bool("quick", false, "use the quick budget (shorter runs, noisier curves)")
+		ext      = flag.Bool("extensions", false, "also run the extension experiments")
+		outDir   = flag.String("out", "", "write per-figure CSV files into this directory")
+		warmup   = flag.Int64("warmup", 0, "override warmup cycles")
+		measure  = flag.Int64("measure", 0, "override measurement cycles")
+		seed     = flag.Uint64("seed", 0, "override random seed")
+		procs    = flag.Int("procs", 0, "parallel simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", simrun.DefaultCacheDir, "content-addressed result cache directory (empty = no cache)")
+		progress = flag.Bool("progress", false, "report live plan progress on stderr")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -98,8 +112,40 @@ func main() {
 	}
 	budget.Parallelism = *procs
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := simrun.Options{Workers: *procs}
+	if *cacheDir != "" {
+		store, err := simrun.NewStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	start := time.Now()
+	if *progress {
+		opts.Progress = progressPrinter(start)
+	}
+	finish := func(c simrun.Counters, err error) {
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintf(os.Stderr, "figures: plan: %d points requested, %d unique: %d cached, %d executed, %d failed (%v)\n",
+			c.Requested, c.Unique, c.Cached, c.Executed, c.Failed, time.Since(start).Round(time.Millisecond))
+		if opts.Store != nil && opts.Store.WriteFailures() > 0 {
+			fmt.Fprintf(os.Stderr, "figures: warning: %d cache writes failed; those points will recompute next run\n", opts.Store.WriteFailures())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: interrupted: %v (completed points are cached; re-run to resume)\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+	}
+
 	if *rep != "" {
-		md, failures, err := report.Generate(budget)
+		md, failures, err := report.Generate(ctx, budget, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
@@ -115,14 +161,20 @@ func main() {
 		return
 	}
 
-	for _, e := range exps {
-		start := time.Now()
-		fig, err := e.Run(budget)
+	plan := simrun.NewPlan()
+	handles := make([]*experiments.FigureHandle, len(exps))
+	for i, e := range exps {
+		handles[i] = experiments.AddToPlan(plan, e, budget)
+	}
+	execErr := plan.Execute(ctx, opts)
+	finish(plan.Counters(), execErr)
+
+	for i, e := range exps {
+		fig, err := handles[i].Figure()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.ID, err)
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
 		}
-		elapsed := time.Since(start).Round(time.Millisecond)
 		switch {
 		case *outDir != "":
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -134,16 +186,32 @@ func main() {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%s -> %s (%v)\n", e.ID, path, elapsed)
+			fmt.Printf("%s -> %s\n", e.ID, path)
 			fmt.Print(fig.Summary())
 		case *csv:
 			fmt.Print(fig.CSV())
 		case *plot:
 			fmt.Print(fig.ASCIIPlot(64, 18))
-			fmt.Printf("expectation (paper): %s\nruntime: %v\n\n", e.Expect, elapsed)
+			fmt.Printf("expectation (paper): %s\n\n", e.Expect)
 		default:
 			fmt.Print(fig.Table())
-			fmt.Printf("  expectation (paper): %s\n  runtime: %v\n\n", e.Expect, elapsed)
+			fmt.Printf("  expectation (paper): %s\n\n", e.Expect)
 		}
+	}
+}
+
+// progressPrinter returns a simrun progress callback that rewrites one
+// stderr status line with counts and an ETA extrapolated from the
+// average per-simulation wall time so far.
+func progressPrinter(start time.Time) func(simrun.Counters) {
+	return func(c simrun.Counters) {
+		line := fmt.Sprintf("\r%d/%d done (%d cached, %d simulated, %d running)",
+			c.Done, c.Unique, c.Cached, c.Executed, c.Running)
+		if c.Executed > 0 && c.Done < c.Unique {
+			perPoint := time.Since(start) / time.Duration(c.Executed)
+			eta := perPoint * time.Duration(c.Unique-c.Done)
+			line += fmt.Sprintf(" ETA %v", eta.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "%-70s", line)
 	}
 }

@@ -2,17 +2,24 @@
 // each network family under each traffic pattern and prints the
 // resulting matrix — the paper's results at a glance, computed with
 // the sweep package's saturation search rather than a fixed load grid.
+// The rows and columns come from the shared spec tables
+// (experiments.PaperSpecs, experiments.StandardWorkloads), so the
+// matrix always covers exactly the paper's evaluation networks.
 //
 // Usage:
 //
-//	saturate                       # 4 networks x 4 patterns matrix
+//	saturate                       # networks x patterns matrix
 //	saturate -measure 120000       # higher fidelity
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"minsim/internal/experiments"
 	"minsim/internal/sweep"
@@ -27,45 +34,37 @@ func main() {
 	)
 	flag.Parse()
 
-	networks := []struct {
-		name string
-		spec experiments.NetworkSpec
-	}{
-		{"TMIN", experiments.TMINCube},
-		{"DMIN", experiments.DMINCube},
-		{"VMIN", experiments.VMINCube},
-		{"BMIN", experiments.BMINButterfly},
-	}
-	patterns := []struct {
-		name string
-		work experiments.WorkloadSpec
-	}{
-		{"uniform", experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.Uniform}}},
-		{"hotspot-5%", experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.HotSpot, HotX: 0.05}}},
-		{"shuffle", experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.ShufflePerm}}},
-		{"butterfly-2", experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.ButterflyPerm, Butterfly: 2}}},
-	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	networks := experiments.PaperSpecs()
+	patterns := experiments.StandardWorkloads()
 
 	fmt.Println("maximum sustainable offered load (flits/node/cycle), bisected")
-	fmt.Printf("%-8s", "")
+	fmt.Printf("%-16s", "")
 	for _, p := range patterns {
-		fmt.Printf(" %-12s", p.name)
+		fmt.Printf(" %-12s", p.Name)
 	}
 	fmt.Println()
 	for _, n := range networks {
-		net, err := n.spec.Build()
+		net, err := n.Spec.Build()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-8s", n.name)
+		fmt.Printf("%-16s", n.Name)
 		for _, p := range patterns {
-			load, _, err := sweep.FindSaturation(sweep.Config{
+			load, _, err := sweep.FindSaturation(ctx, sweep.Config{
 				Net:           net,
-				Factory:       p.work.Factory(net),
+				Factory:       p.Work.Factory(net),
 				WarmupCycles:  *warmup,
 				MeasureCycles: *measure,
 				Seed:          *seed,
 			}, 0.02, 1.0, *tol)
+			if errors.Is(err, context.Canceled) {
+				fmt.Println()
+				fmt.Fprintf(os.Stderr, "saturate: interrupted: %v\n", err)
+				os.Exit(1)
+			}
 			if err != nil {
 				fmt.Printf(" %-12s", "err")
 				continue

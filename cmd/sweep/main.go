@@ -3,6 +3,12 @@
 // CSV — the building block of the paper's figures when you want a
 // custom combination rather than a predefined panel.
 //
+// The network and workload flags parse through the same spec
+// vocabulary as the JSON experiment schema (experiments.ParseNetworkSpec,
+// experiments.ParseWorkloadSpec), and the sweep executes as a simrun
+// plan: pass -cache DIR to reuse and extend the same content-addressed
+// result cache the figures tool writes.
+//
 // Usage:
 //
 //	sweep -net bmin -pattern uniform -from 0.05 -to 0.9 -points 12
@@ -11,38 +17,43 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"minsim"
 	"minsim/internal/cli"
+	"minsim/internal/experiments"
+	"minsim/internal/simrun"
 )
 
 func main() {
 	var (
 		netName = flag.String("net", "tmin", "network: tmin, dmin, vmin, bmin")
-		wiring  = flag.String("wiring", "cube", "interstage wiring: cube or butterfly")
+		wiring  = flag.String("wiring", "cube", "interstage wiring: cube, butterfly, omega, baseline")
 		k       = flag.Int("k", 4, "switch arity")
 		stages  = flag.Int("stages", 3, "stages")
 		dil     = flag.Int("dilation", 2, "DMIN dilation")
 		vcs     = flag.Int("vcs", 2, "VMIN virtual channels")
 
-		pattern = flag.String("pattern", "uniform", "traffic: uniform, hotspot, shuffle, butterfly")
+		pattern = flag.String("pattern", "uniform", "traffic: uniform, hotspot, shuffle, butterfly, or a named permutation")
 		scope   = flag.String("scope", "global", "clustering: global, cluster16, shared, cluster32")
 		hotX    = flag.Float64("hotx", 0.05, "hot spot extra fraction")
 		bfi     = flag.Int("bfi", 2, "butterfly permutation index")
 		minLen  = flag.Int("minlen", 8, "minimum message length")
 		maxLen  = flag.Int("maxlen", 1024, "maximum message length")
 
-		from    = flag.Float64("from", 0.05, "first offered load")
-		to      = flag.Float64("to", 0.9, "last offered load")
-		points  = flag.Int("points", 10, "number of load points")
-		warmup  = flag.Int64("warmup", 20000, "warmup cycles")
-		measure = flag.Int64("measure", 60000, "measurement cycles")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		procs   = flag.Int("procs", 0, "parallel points (0 = GOMAXPROCS)")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		from     = flag.Float64("from", 0.05, "first offered load")
+		to       = flag.Float64("to", 0.9, "last offered load")
+		points   = flag.Int("points", 10, "number of load points")
+		warmup   = flag.Int64("warmup", 20000, "warmup cycles")
+		measure  = flag.Int64("measure", 60000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		procs    = flag.Int("procs", 0, "parallel points (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory (empty = no cache)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -55,27 +66,20 @@ func main() {
 	}
 	defer stopProfiles()
 
-	kv, err := cli.ParseKind(*netName)
-	if err != nil {
-		fatal(err)
-	}
-	pv, err := cli.ParsePattern(*pattern)
-	if err != nil {
-		fatal(err)
-	}
-	sv, err := cli.ParseScope(*scope)
-	if err != nil {
-		fatal(err)
-	}
-	wv, err := cli.ParseWiring(*wiring)
-	if err != nil {
-		fatal(err)
-	}
-
-	net, err := minsim.NewNetwork(minsim.NetworkConfig{
-		Kind: kv, Wiring: wv, K: *k, Stages: *stages, Dilation: *dil, VCs: *vcs,
+	spec, err := experiments.ParseNetworkSpec(experiments.NetworkOptions{
+		Kind: *netName, Wiring: *wiring, K: *k, Stages: *stages, Dilation: *dil, VCs: *vcs,
 	})
 	if err != nil {
+		fatal(err)
+	}
+	work, err := experiments.ParseWorkloadSpec(experiments.WorkloadOptions{
+		Cluster: *scope, Pattern: *pattern, HotX: *hotX, ButterflyI: *bfi,
+		MinLen: *minLen, MaxLen: *maxLen,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := spec.Build(); err != nil {
 		fatal(err)
 	}
 
@@ -84,18 +88,34 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := minsim.Sweep(minsim.SweepConfig{
-		Network: net,
-		Workload: minsim.Workload{
-			Pattern: pv, Scope: sv, HotX: *hotX, ButterflyI: *bfi,
-			MinLen: *minLen, MaxLen: *maxLen,
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := simrun.Options{Workers: *procs}
+	if *cacheDir != "" {
+		store, err := simrun.NewStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+	}
+	plan := simrun.NewPlan()
+	h := plan.AddSweep(simrun.SweepSpec{
+		Net:   spec,
+		Work:  work,
+		Loads: loads,
+		Budget: simrun.Budget{
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Seed:          *seed,
 		},
-		Loads:         loads,
-		WarmupCycles:  *warmup,
-		MeasureCycles: *measure,
-		Seed:          *seed,
-		Parallelism:   *procs,
 	})
+	if err := plan.Execute(ctx, opts); err != nil {
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "sweep: interrupted: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := h.Points()
 	if err != nil {
 		fatal(err)
 	}
@@ -104,15 +124,15 @@ func main() {
 		fmt.Println("offered,throughput,latency_cycles,latency_ms,messages,sustainable")
 		for _, r := range res {
 			fmt.Printf("%.4f,%.4f,%.1f,%.3f,%d,%t\n",
-				r.Offered, r.Throughput, r.MeanLatencyCycles, r.MeanLatencyMs, r.MessagesMeasured, r.Sustainable)
+				r.Offered, r.Throughput, r.LatencyCyc, r.LatencyMs, r.Messages, r.Sustainable)
 		}
 		return
 	}
-	fmt.Printf("%s, %s/%s\n", net.Name(), *pattern, *scope)
+	fmt.Printf("%s, %s/%s\n", spec, *pattern, *scope)
 	fmt.Printf("%-10s %-12s %-14s %-12s %s\n", "offered", "throughput", "latency(cyc)", "latency(ms)", "sustainable")
 	for _, r := range res {
 		fmt.Printf("%-10.3f %-12.4f %-14.1f %-12.3f %t\n",
-			r.Offered, r.Throughput, r.MeanLatencyCycles, r.MeanLatencyMs, r.Sustainable)
+			r.Offered, r.Throughput, r.LatencyCyc, r.LatencyMs, r.Sustainable)
 	}
 }
 

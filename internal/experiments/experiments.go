@@ -1,32 +1,55 @@
 // Package experiments defines the paper's simulation experiments —
 // one per figure panel of Section 5 (Figs. 16-20) plus the extensions
-// the paper lists as future work — and runs them through the sweep
-// harness to regenerate the latency/throughput curves.
+// the paper lists as future work — and runs them through the simrun
+// plan layer to regenerate the latency/throughput curves. The spec
+// vocabulary (NetworkSpec, WorkloadSpec, Budget, ...) lives in
+// internal/simrun and is aliased here, so a named spec means the same
+// thing in every CLI and every cache entry.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"minsim/internal/engine"
-	"minsim/internal/kary"
 	"minsim/internal/metrics"
-	"minsim/internal/sweep"
+	"minsim/internal/simrun"
 	"minsim/internal/topology"
-	"minsim/internal/traffic"
 )
 
-// NetworkSpec names a buildable network configuration. All paper
-// experiments use 64 nodes with 4x4 switches (K = 4, Stages = 3).
-type NetworkSpec struct {
-	Kind     topology.Kind
-	Pattern  topology.Pattern // for unidirectional kinds
-	K        int
-	Stages   int
-	Dilation int // DMIN only (0 -> 2)
-	VCs      int // VMIN only (0 -> 2); BMIN virtual-channel variant
-	Extra    int // extra distribution stages (unidirectional kinds)
-}
+// The declarative spec types are simrun's; the aliases keep this
+// package the single import experiment authors need.
+type (
+	// NetworkSpec names a buildable network configuration.
+	NetworkSpec = simrun.NetworkSpec
+	// WorkloadSpec is a complete traffic description.
+	WorkloadSpec = simrun.WorkloadSpec
+	// ClusterSpec names a node clustering of the 64-node system.
+	ClusterSpec = simrun.ClusterSpec
+	// PatternSpec names a destination pattern.
+	PatternSpec = simrun.PatternSpec
+	// PatternKind enumerates the traffic patterns.
+	PatternKind = simrun.PatternKind
+	// Budget sets the simulation effort per point.
+	Budget = simrun.Budget
+)
+
+// Clustering scopes from Section 5.1.
+const (
+	Global          = simrun.Global
+	Cluster16       = simrun.Cluster16
+	Cluster16Shared = simrun.Cluster16Shared
+	Cluster32       = simrun.Cluster32
+)
+
+// The paper's traffic patterns plus named classic permutations.
+const (
+	Uniform       = simrun.Uniform
+	HotSpot       = simrun.HotSpot
+	ShufflePerm   = simrun.ShufflePerm
+	ButterflyPerm = simrun.ButterflyPerm
+	NamedPerm     = simrun.NamedPerm
+)
 
 // Paper-standard network specs (Section 5).
 var (
@@ -39,7 +62,7 @@ var (
 
 // NamedSpec pairs a paper-standard network spec with a stable name,
 // for harnesses that iterate over all five evaluation networks (the
-// determinism regression tests, cmd/benchjson).
+// determinism regression tests, cmd/benchjson, cmd/saturate).
 type NamedSpec struct {
 	Name string
 	Spec NetworkSpec
@@ -57,163 +80,21 @@ func PaperSpecs() []NamedSpec {
 	}
 }
 
-// Build constructs the network.
-func (s NetworkSpec) Build() (*topology.Network, error) {
-	switch s.Kind {
-	case topology.BMIN:
-		v := s.VCs
-		if v == 0 {
-			v = 1
-		}
-		return topology.NewBMINVC(s.K, s.Stages, v)
-	case topology.TMIN:
-		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: 1, VCs: 1, Extra: s.Extra})
-	case topology.DMIN:
-		d := s.Dilation
-		if d == 0 {
-			d = 2
-		}
-		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: d, VCs: 1, Extra: s.Extra})
-	case topology.VMIN:
-		v := s.VCs
-		if v == 0 {
-			v = 2
-		}
-		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: 1, VCs: v, Extra: s.Extra})
-	}
-	return nil, fmt.Errorf("experiments: unknown network kind %v", s.Kind)
+// NamedWorkload pairs a paper-standard workload with a stable name.
+type NamedWorkload struct {
+	Name string
+	Work WorkloadSpec
 }
 
-// ClusterSpec names a node clustering of the 64-node system.
-type ClusterSpec int
-
-const (
-	Global          ClusterSpec = iota // one 64-node cluster
-	Cluster16                          // four base cubes 0XX..3XX
-	Cluster16Shared                    // butterfly channel-shared XX0..XX3
-	Cluster32                          // two binary-cube halves
-)
-
-// String returns the human-readable name.
-func (c ClusterSpec) String() string {
-	switch c {
-	case Global:
-		return "global"
-	case Cluster16:
-		return "cluster-16"
-	case Cluster16Shared:
-		return "cluster-16-shared"
-	case Cluster32:
-		return "cluster-32"
-	}
-	return fmt.Sprintf("ClusterSpec(%d)", int(c))
-}
-
-// clustering materializes the spec for an N-node radix space.
-func (c ClusterSpec) clustering(r kary.Radix) traffic.Clustering {
-	switch c {
-	case Cluster16:
-		return traffic.Cluster16(r)
-	case Cluster16Shared:
-		return traffic.Cluster16Shared(r)
-	case Cluster32:
-		return traffic.Halves(r.Size())
-	default:
-		return traffic.Global(r.Size())
-	}
-}
-
-// PatternSpec names a destination pattern.
-type PatternSpec struct {
-	Kind      PatternKind
-	HotX      float64 // HotSpot: extra fraction (0.05 = "5% more")
-	Butterfly int     // ButterflyPerm: permutation index i
-	Name      string  // NamedPerm: traffic.PatternByName name
-}
-
-// PatternKind enumerates the paper's four traffic patterns plus the
-// named classic permutations of traffic.PatternByName.
-type PatternKind int
-
-const (
-	Uniform PatternKind = iota
-	HotSpot
-	ShufflePerm
-	ButterflyPerm
-	NamedPerm
-)
-
-// String returns the human-readable name.
-func (p PatternSpec) String() string {
-	switch p.Kind {
-	case Uniform:
-		return "uniform"
-	case HotSpot:
-		return fmt.Sprintf("hotspot-%g%%", 100*p.HotX)
-	case ShufflePerm:
-		return "shuffle"
-	case ButterflyPerm:
-		return fmt.Sprintf("butterfly-%d", p.Butterfly)
-	case NamedPerm:
-		return p.Name
-	}
-	return fmt.Sprintf("PatternSpec(%d)", int(p.Kind))
-}
-
-// WorkloadSpec is a complete traffic description.
-type WorkloadSpec struct {
-	Cluster ClusterSpec
-	Pattern PatternSpec
-	Ratios  []float64          // per-cluster load ratios (nil = equal)
-	Lengths traffic.LengthDist // nil = paper's U{8..1024}
-}
-
-// String returns the human-readable name.
-func (w WorkloadSpec) String() string {
-	s := fmt.Sprintf("%s %s", w.Cluster, w.Pattern)
-	if w.Ratios != nil {
-		s += fmt.Sprintf(" ratios %v", w.Ratios)
-	}
-	return s
-}
-
-// Factory returns a sweep.SourceFactory realizing the workload on the
-// given network.
-func (w WorkloadSpec) Factory(net *topology.Network) sweep.SourceFactory {
-	lengths := w.Lengths
-	if lengths == nil {
-		lengths = traffic.PaperLengths
-	}
-	c := w.Cluster.clustering(net.R)
-	var pattern traffic.Pattern
-	var patErr error
-	switch w.Pattern.Kind {
-	case Uniform:
-		pattern = traffic.Uniform{C: c}
-	case HotSpot:
-		pattern = traffic.HotSpot{C: c, X: w.Pattern.HotX}
-	case ShufflePerm:
-		pattern = traffic.ShufflePattern(net.R)
-	case ButterflyPerm:
-		pattern = traffic.ButterflyPattern(net.R, w.Pattern.Butterfly)
-	case NamedPerm:
-		pattern, patErr = traffic.PatternByName(w.Pattern.Name, net.R, c)
-	}
-	return func(load float64, seed uint64) (engine.Source, error) {
-		if patErr != nil {
-			return nil, patErr
-		}
-		rates, err := traffic.NodeRates(c, load, lengths.Mean(), w.Ratios)
-		if err != nil {
-			return nil, err
-		}
-		return traffic.NewWorkload(traffic.Config{
-			Nodes:   net.Nodes,
-			Pattern: pattern,
-			Lengths: lengths,
-			Rates:   rates,
-			Seed:    seed,
-		})
+// StandardWorkloads returns the four traffic patterns of the paper's
+// evaluation matrix (global scope), in a fixed order — shared by
+// cmd/saturate and any harness sweeping the pattern dimension.
+func StandardWorkloads() []NamedWorkload {
+	return []NamedWorkload{
+		{"uniform", WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}}},
+		{"hotspot-5%", WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: HotSpot, HotX: 0.05}}},
+		{"shuffle", WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: ShufflePerm}}},
+		{"butterfly-2", WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: ButterflyPerm, Butterfly: 2}}},
 	}
 }
 
@@ -241,15 +122,6 @@ type Experiment struct {
 	Loads  []float64
 }
 
-// Budget sets the simulation effort per point.
-type Budget struct {
-	WarmupCycles  int64
-	MeasureCycles int64
-	Seed          uint64
-	QueueLimit    int
-	Parallelism   int
-}
-
 // DefaultBudget is sized so a full figure completes in tens of
 // seconds while giving stable curve ordering; increase the cycles for
 // smoother curves.
@@ -258,50 +130,83 @@ var DefaultBudget = Budget{WarmupCycles: 40_000, MeasureCycles: 120_000, Seed: 1
 // QuickBudget is for tests and smoke runs.
 var QuickBudget = Budget{WarmupCycles: 5_000, MeasureCycles: 15_000, Seed: 1995}
 
-// Run executes every curve of the experiment. Curves run
-// concurrently (each curve's load points are again parallel inside
-// the sweep); results are deterministic regardless of scheduling
-// because every point derives its own seed.
-func (e Experiment) Run(b Budget) (metrics.Figure, error) {
-	fig := metrics.Figure{ID: e.ID, Title: e.Title}
-	series := make([]metrics.Series, len(e.Curves))
-	errs := make([]error, len(e.Curves))
-	var wg sync.WaitGroup
-	for i := range e.Curves {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c := e.Curves[i]
-			net, err := c.Net.Build()
-			if err != nil {
-				errs[i] = fmt.Errorf("experiments: %s/%s: %w", e.ID, c.Label, err)
-				return
-			}
-			pts, err := sweep.Run(sweep.Config{
-				Net:           net,
-				Factory:       c.Work.Factory(net),
-				Loads:         e.Loads,
-				WarmupCycles:  b.WarmupCycles,
-				MeasureCycles: b.MeasureCycles,
-				Seed:          b.Seed,
-				QueueLimit:    b.QueueLimit,
-				BufferDepth:   c.BufferDepth,
-				Arbitration:   c.Arbitration,
-				Parallelism:   b.Parallelism,
-			})
-			if err != nil {
-				errs[i] = fmt.Errorf("experiments: %s/%s: %w", e.ID, c.Label, err)
-				return
-			}
-			series[i] = metrics.Series{Label: c.Label, Points: pts}
-		}(i)
+// FigureHandle addresses one experiment's results within a simrun
+// plan; call Figure after the plan executes.
+type FigureHandle struct {
+	exp     Experiment
+	handles []*simrun.Handle
+}
+
+// AddToPlan registers every curve of the experiment as a sweep on the
+// plan. Load points identical across curves, figures and previous
+// cache-backed invocations execute once.
+func AddToPlan(p *simrun.Plan, e Experiment, b Budget) *FigureHandle {
+	fh := &FigureHandle{exp: e, handles: make([]*simrun.Handle, len(e.Curves))}
+	for i, c := range e.Curves {
+		fh.handles[i] = p.AddSweep(simrun.SweepSpec{
+			Net:         c.Net,
+			Work:        c.Work,
+			Loads:       e.Loads,
+			Budget:      b,
+			BufferDepth: c.BufferDepth,
+			Arbitration: c.Arbitration,
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return fh
+}
+
+// Figure assembles the experiment's figure from the executed plan.
+func (fh *FigureHandle) Figure() (metrics.Figure, error) {
+	fig := metrics.Figure{ID: fh.exp.ID, Title: fh.exp.Title}
+	series := make([]metrics.Series, len(fh.exp.Curves))
+	for i, c := range fh.exp.Curves {
+		pts, err := fh.handles[i].Points()
 		if err != nil {
-			return fig, err
+			return fig, fmt.Errorf("experiments: %s/%s: %w", fh.exp.ID, c.Label, err)
 		}
+		series[i] = metrics.Series{Label: c.Label, Points: pts}
 	}
 	fig.Series = series
 	return fig, nil
+}
+
+// RunAll executes a set of experiments as one deduplicated plan —
+// identical load points shared across figure panels simulate once —
+// and returns the figures in input order. opts.Store enables the
+// on-disk result cache; ctx cancellation aborts between points with
+// completed cache entries already flushed.
+func RunAll(ctx context.Context, exps []Experiment, b Budget, opts simrun.Options) ([]metrics.Figure, error) {
+	if opts.Workers == 0 {
+		opts.Workers = b.Parallelism
+	}
+	plan := simrun.NewPlan()
+	handles := make([]*FigureHandle, len(exps))
+	for i, e := range exps {
+		handles[i] = AddToPlan(plan, e, b)
+	}
+	if err := plan.Execute(ctx, opts); err != nil {
+		return nil, err
+	}
+	figs := make([]metrics.Figure, len(exps))
+	for i, fh := range handles {
+		fig, err := fh.Figure()
+		if err != nil {
+			return nil, err
+		}
+		figs[i] = fig
+	}
+	return figs, nil
+}
+
+// Run executes every curve of the experiment on a worker pool.
+// Results are deterministic regardless of scheduling because every
+// point derives its own seed. No cache is consulted — callers that
+// want cached, cross-figure-deduplicated execution use RunAll (or
+// AddToPlan on a shared plan) instead.
+func (e Experiment) Run(b Budget) (metrics.Figure, error) {
+	figs, err := RunAll(context.Background(), []Experiment{e}, b, simrun.Options{})
+	if err != nil {
+		return metrics.Figure{ID: e.ID, Title: e.Title}, err
+	}
+	return figs[0], nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"minsim/internal/topology"
 	"minsim/internal/traffic"
@@ -49,13 +50,16 @@ type jsonExperiment struct {
 }
 
 type jsonCurve struct {
-	Label       string       `json:"label"`
-	Network     jsonNetwork  `json:"network"`
-	Workload    jsonWorkload `json:"workload"`
-	BufferDepth int          `json:"bufferdepth"`
+	Label       string          `json:"label"`
+	Network     NetworkOptions  `json:"network"`
+	Workload    WorkloadOptions `json:"workload"`
+	BufferDepth int             `json:"bufferdepth"`
 }
 
-type jsonNetwork struct {
+// NetworkOptions is the string-keyed network description shared by the
+// JSON experiment schema and the CLI flag sets (cmd/sweep); parse it
+// with ParseNetworkSpec.
+type NetworkOptions struct {
 	Kind     string `json:"kind"`
 	Wiring   string `json:"wiring"`
 	K        int    `json:"k"`
@@ -65,7 +69,10 @@ type jsonNetwork struct {
 	Extra    int    `json:"extra"`
 }
 
-type jsonWorkload struct {
+// WorkloadOptions is the string-keyed workload description shared by
+// the JSON experiment schema and the CLI flag sets; parse it with
+// ParseWorkloadSpec.
+type WorkloadOptions struct {
 	Cluster    string    `json:"cluster"`
 	Pattern    string    `json:"pattern"`
 	HotX       float64   `json:"hotx"`
@@ -106,11 +113,11 @@ func ParseJSON(data []byte) (Experiment, error) {
 		if jc.Label == "" {
 			return Experiment{}, fmt.Errorf("experiments: %s: curve %d missing label", je.ID, i)
 		}
-		net, err := parseJSONNetwork(jc.Network)
+		net, err := ParseNetworkSpec(jc.Network)
 		if err != nil {
 			return Experiment{}, fmt.Errorf("experiments: %s/%s: %w", je.ID, jc.Label, err)
 		}
-		work, err := parseJSONWorkload(jc.Workload)
+		work, err := ParseWorkloadSpec(jc.Workload)
 		if err != nil {
 			return Experiment{}, fmt.Errorf("experiments: %s/%s: %w", je.ID, jc.Label, err)
 		}
@@ -128,7 +135,10 @@ func ParseJSON(data []byte) (Experiment, error) {
 	return e, nil
 }
 
-func parseJSONNetwork(jn jsonNetwork) (NetworkSpec, error) {
+// ParseNetworkSpec resolves the string-keyed options (names are
+// case-insensitive) into a NetworkSpec, applying the paper defaults
+// for zero-valued dimensions.
+func ParseNetworkSpec(jn NetworkOptions) (NetworkSpec, error) {
 	spec := NetworkSpec{K: jn.K, Stages: jn.Stages, Dilation: jn.Dilation, VCs: jn.VCs, Extra: jn.Extra}
 	if spec.K == 0 {
 		spec.K = 4
@@ -136,7 +146,7 @@ func parseJSONNetwork(jn jsonNetwork) (NetworkSpec, error) {
 	if spec.Stages == 0 {
 		spec.Stages = 3
 	}
-	switch jn.Kind {
+	switch strings.ToLower(jn.Kind) {
 	case "tmin", "":
 		spec.Kind = topology.TMIN
 	case "dmin":
@@ -148,7 +158,7 @@ func parseJSONNetwork(jn jsonNetwork) (NetworkSpec, error) {
 	default:
 		return spec, fmt.Errorf("unknown network kind %q", jn.Kind)
 	}
-	switch jn.Wiring {
+	switch strings.ToLower(jn.Wiring) {
 	case "cube", "":
 		spec.Pattern = topology.Cube
 	case "butterfly":
@@ -163,9 +173,13 @@ func parseJSONNetwork(jn jsonNetwork) (NetworkSpec, error) {
 	return spec, nil
 }
 
-func parseJSONWorkload(jw jsonWorkload) (WorkloadSpec, error) {
+// ParseWorkloadSpec resolves the string-keyed options (names are
+// case-insensitive) into a WorkloadSpec. Unrecognized pattern names
+// fall through to traffic.PatternByName's classic permutations, which
+// validate when the workload factory first runs.
+func ParseWorkloadSpec(jw WorkloadOptions) (WorkloadSpec, error) {
 	w := WorkloadSpec{}
-	switch jw.Cluster {
+	switch strings.ToLower(jw.Cluster) {
 	case "global", "":
 		w.Cluster = Global
 	case "cluster-16", "cluster16":
@@ -177,7 +191,7 @@ func parseJSONWorkload(jw jsonWorkload) (WorkloadSpec, error) {
 	default:
 		return w, fmt.Errorf("unknown cluster %q", jw.Cluster)
 	}
-	switch jw.Pattern {
+	switch strings.ToLower(jw.Pattern) {
 	case "uniform", "":
 		w.Pattern = PatternSpec{Kind: Uniform}
 	case "hotspot":

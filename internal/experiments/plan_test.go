@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"minsim/internal/simrun"
+	"minsim/internal/topology"
+)
+
+// TestCrossFigureDedup registers two figure panels that share a curve
+// on one plan and checks the shared load points execute once: the
+// whole reason the figures binary assembles a single plan instead of
+// running panels independently.
+func TestCrossFigureDedup(t *testing.T) {
+	tiny := NetworkSpec{Kind: topology.TMIN, K: 4, Stages: 2}
+	uniform := WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}}
+	hotspot := WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: HotSpot, HotX: 0.05}}
+	loads := []float64{0.1, 0.25}
+	b := Budget{WarmupCycles: 200, MeasureCycles: 1000, Seed: 3}
+
+	figA := Experiment{
+		ID: "a", Title: "a", Loads: loads,
+		Curves: []Curve{
+			{Label: "uniform", Net: tiny, Work: uniform},
+			{Label: "hotspot", Net: tiny, Work: hotspot},
+		},
+	}
+	figB := Experiment{
+		ID: "b", Title: "b", Loads: loads,
+		Curves: []Curve{
+			{Label: "uniform", Net: tiny, Work: uniform}, // identical to figA's first curve
+		},
+	}
+
+	plan := simrun.NewPlan()
+	ha := AddToPlan(plan, figA, b)
+	hb := AddToPlan(plan, figB, b)
+	if err := plan.Execute(context.Background(), simrun.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c := plan.Counters()
+	if c.Requested != 6 {
+		t.Fatalf("requested %d points, want 6", c.Requested)
+	}
+	if c.Unique >= c.Requested {
+		t.Fatalf("no cross-figure dedup: %d unique of %d requested", c.Unique, c.Requested)
+	}
+	if c.Executed != c.Unique || c.Unique != 4 {
+		t.Errorf("executed %d / unique %d, want 4/4", c.Executed, c.Unique)
+	}
+
+	fa, err := ha.Figure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := hb.Figure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa.Series[0].Points, fb.Series[0].Points) {
+		t.Error("shared curve differs between figures")
+	}
+	if reflect.DeepEqual(fa.Series[0].Points, fa.Series[1].Points) {
+		t.Error("distinct workloads produced identical curves")
+	}
+}
+
+// TestRunAllMatchesRun checks the batched plan path returns exactly
+// what the per-experiment path returns — dedup and scheduling must
+// never change results.
+func TestRunAllMatchesRun(t *testing.T) {
+	tiny := NetworkSpec{Kind: topology.TMIN, K: 4, Stages: 2}
+	e := Experiment{
+		ID: "x", Title: "x", Loads: []float64{0.1, 0.3},
+		Curves: []Curve{{Label: "u", Net: tiny, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}}}},
+	}
+	b := Budget{WarmupCycles: 200, MeasureCycles: 1000, Seed: 9}
+	single, err := e.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunAll(context.Background(), []Experiment{e}, b, simrun.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single, batched[0]) {
+		t.Errorf("RunAll result differs from Run:\n%+v\nvs\n%+v", single, batched[0])
+	}
+}

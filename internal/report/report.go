@@ -7,11 +7,13 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"minsim/internal/experiments"
 	"minsim/internal/metrics"
+	"minsim/internal/simrun"
 )
 
 // Check is one machine-checkable claim about a figure.
@@ -198,19 +200,22 @@ func Evaluate(fig metrics.Figure, expect string) Result {
 	return res
 }
 
-// Generate runs every paper figure under the budget, evaluates its
+// Generate runs every paper figure under the budget as one
+// deduplicated simrun plan (opts.Store makes the run resumable: an
+// interrupted report keeps every completed point), evaluates the
 // claims and renders the full markdown report.
-func Generate(budget experiments.Budget) (string, int, error) {
+func Generate(ctx context.Context, budget experiments.Budget, opts simrun.Options) (string, int, error) {
+	exps := experiments.Figures()
+	figs, err := experiments.RunAll(ctx, exps, budget, opts)
+	if err != nil {
+		return "", 0, err
+	}
 	var sb strings.Builder
 	sb.WriteString("# Reproduction report\n\n")
 	sb.WriteString("Machine-checked claims per paper figure (see internal/report).\n\n")
 	failures := 0
-	for _, e := range experiments.Figures() {
-		fig, err := e.Run(budget)
-		if err != nil {
-			return "", failures, err
-		}
-		res := Evaluate(fig, e.Expect)
+	for i, e := range exps {
+		res := Evaluate(figs[i], e.Expect)
 		failures += res.Failed
 		sb.WriteString(Render(res))
 	}

@@ -1,0 +1,283 @@
+package simrun
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"minsim/internal/engine"
+	"minsim/internal/metrics"
+	"minsim/internal/topology"
+)
+
+// SweepSpec requests one load sweep: a network under a workload
+// across a set of offered loads, with a cycle budget. Each load point
+// becomes a RunSpec whose seed is derived from Budget.Seed and the
+// point's index (DeriveSeed), exactly like the ad-hoc sweep runner.
+type SweepSpec struct {
+	Net         NetworkSpec
+	Work        WorkloadSpec
+	Loads       []float64
+	Budget      Budget // Parallelism is ignored here; see Options.Workers
+	BufferDepth int
+	Arbitration engine.Arbitration
+}
+
+// pointRun is one deduplicated unit of work. Several sweeps (and
+// several positions within one sweep) may share a pointRun; it is
+// executed at most once per plan.
+type pointRun struct {
+	key    string  // content hash; "" = uncacheable and unshareable
+	spec   RunSpec // valid when fn == nil
+	fn     func() (metrics.Point, error)
+	pt     metrics.Point
+	err    error
+	done   bool
+	cached bool
+}
+
+// Plan is a deduplicated DAG of point-runs assembled from requested
+// sweeps. Build it single-threaded (AddSweep/AddFunc), execute it
+// once with Execute, then read results from the returned Handles.
+type Plan struct {
+	mu        sync.Mutex
+	runs      []*pointRun
+	index     map[string]*pointRun
+	requested int
+	counters  Counters
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{index: map[string]*pointRun{}}
+}
+
+// Handle addresses one requested sweep's results inside a plan. The
+// points come back in load order regardless of execution scheduling.
+type Handle struct {
+	runs []*pointRun
+}
+
+// AddSweep registers a spec-described sweep and returns its handle.
+// Points whose content hash matches an already-registered point share
+// that point's single execution (and cache entry); points that cannot
+// be hashed (exotic length distributions) run uncached.
+func (p *Plan) AddSweep(s SweepSpec) *Handle {
+	h := &Handle{runs: make([]*pointRun, len(s.Loads))}
+	for i, load := range s.Loads {
+		rs := RunSpec{
+			Net:         s.Net,
+			Work:        s.Work,
+			Load:        load,
+			Warmup:      s.Budget.WarmupCycles,
+			Measure:     s.Budget.MeasureCycles,
+			Seed:        DeriveSeed(s.Budget.Seed, i),
+			QueueLimit:  s.Budget.QueueLimit,
+			BufferDepth: s.BufferDepth,
+			Arbitration: s.Arbitration,
+		}
+		p.requested++
+		key, err := rs.Key()
+		if err == nil {
+			if existing, ok := p.index[key]; ok {
+				h.runs[i] = existing
+				continue
+			}
+		} else {
+			key = "" // uncacheable: unique run, no dedup, no store
+		}
+		r := &pointRun{key: key, spec: rs}
+		p.runs = append(p.runs, r)
+		if key != "" {
+			p.index[key] = r
+		}
+		h.runs[i] = r
+	}
+	return h
+}
+
+// AddFunc registers n opaque points executed by fn(i). Opaque points
+// cannot be hashed, deduplicated or cached — they exist so ad-hoc
+// callers (arbitrary networks and source factories) still share the
+// plan's worker pool, cancellation and progress accounting.
+func (p *Plan) AddFunc(n int, fn func(i int) (metrics.Point, error)) *Handle {
+	h := &Handle{runs: make([]*pointRun, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		r := &pointRun{fn: func() (metrics.Point, error) { return fn(i) }}
+		p.runs = append(p.runs, r)
+		p.requested++
+		h.runs[i] = r
+	}
+	return h
+}
+
+// Points assembles the sweep's results in load order. It returns the
+// first point error, or an error if the plan was cancelled before
+// every point of this sweep completed.
+func (h *Handle) Points() ([]metrics.Point, error) {
+	out := make([]metrics.Point, len(h.runs))
+	for i, r := range h.runs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !r.done {
+			return nil, fmt.Errorf("simrun: point %d not executed (plan cancelled or Execute not called)", i)
+		}
+		out[i] = r.pt
+	}
+	return out, nil
+}
+
+// Counters snapshots plan progress for observability.
+type Counters struct {
+	Requested int // points requested across all sweeps, duplicates included
+	Unique    int // deduplicated point-runs the plan will actually execute or fetch
+	Cached    int // served from the result store
+	Executed  int // simulated during this execution
+	Running   int // currently simulating
+	Failed    int // completed with an error
+	Done      int // cached + executed (failures included)
+}
+
+// Options parameterizes one Execute call.
+type Options struct {
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+	// Store, when non-nil, serves hashable points from disk and
+	// persists freshly computed ones (written as each point finishes,
+	// so an interrupted run keeps everything it completed).
+	Store *Store
+	// Progress, when non-nil, is called with a counter snapshot after
+	// every state change (cache hit, start, finish). Calls are
+	// serialized.
+	Progress func(Counters)
+}
+
+// Counters returns the current progress snapshot.
+func (p *Plan) Counters() Counters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters
+}
+
+// netCache shares immutable built networks between the point-runs of
+// one plan execution; networks are safe for concurrent engines. Keys
+// are canonical specs so default-valued and explicit spellings of the
+// same network share one build.
+type netCache struct {
+	mu sync.Mutex
+	m  map[NetworkSpec]*topology.Network
+}
+
+func (c *netCache) get(spec NetworkSpec) (*topology.Network, error) {
+	key := spec.canon()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if net, ok := c.m[key]; ok {
+		return net, nil
+	}
+	net, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = net
+	return net, nil
+}
+
+// Execute runs every not-yet-done point: cache lookups first (serial,
+// so cached counts are deterministic), then the remainder on a worker
+// pool. Point results and errors land in the runs and are read
+// through Handles; Execute itself only fails on context cancellation,
+// in which case completed cache entries have already been flushed and
+// a re-Execute (same plan or a rebuilt one) resumes where it stopped.
+func (p *Plan) Execute(ctx context.Context, opts Options) error {
+	p.mu.Lock()
+	p.counters = Counters{Requested: p.requested, Unique: len(p.runs)}
+	p.mu.Unlock()
+
+	var pending []*pointRun
+	for _, r := range p.runs {
+		if r.done {
+			// Re-execution after a cancelled run: keep prior results.
+			p.bump(func(c *Counters) { c.Done++ }, opts.Progress)
+			continue
+		}
+		if opts.Store != nil && r.key != "" {
+			if pt, ok := opts.Store.Get(r.key); ok {
+				r.pt, r.cached, r.done = pt, true, true
+				p.bump(func(c *Counters) { c.Cached++; c.Done++ }, opts.Progress)
+				continue
+			}
+		}
+		pending = append(pending, r)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	nets := &netCache{m: map[NetworkSpec]*topology.Network{}}
+	work := make(chan *pointRun)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				if ctx.Err() != nil {
+					continue // drain without simulating
+				}
+				p.bump(func(c *Counters) { c.Running++ }, opts.Progress)
+				if r.fn != nil {
+					r.pt, r.err = r.fn()
+				} else {
+					r.pt, r.err = r.spec.run(nets)
+					if r.err != nil {
+						r.err = fmt.Errorf("simrun: %s: %w", r.spec, r.err)
+					}
+				}
+				r.done = r.err == nil
+				if r.done && opts.Store != nil && r.key != "" {
+					opts.Store.Put(r.key, r.spec.String(), r.pt)
+				}
+				p.bump(func(c *Counters) {
+					c.Running--
+					c.Executed++
+					c.Done++
+					if r.err != nil {
+						c.Failed++
+					}
+				}, opts.Progress)
+			}
+		}()
+	}
+feed:
+	for _, r := range pending {
+		select {
+		case work <- r:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// bump applies a counter update and emits a progress snapshot, both
+// under the plan mutex so observers see consistent counts.
+func (p *Plan) bump(update func(*Counters), progress func(Counters)) {
+	p.mu.Lock()
+	update(&p.counters)
+	snap := p.counters
+	p.mu.Unlock()
+	if progress != nil {
+		progress(snap)
+	}
+}

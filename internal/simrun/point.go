@@ -1,0 +1,57 @@
+package simrun
+
+import (
+	"minsim/internal/engine"
+	"minsim/internal/metrics"
+	"minsim/internal/topology"
+)
+
+// DeriveSeed maps a sweep-level base seed and a point index to the
+// point's own seed, so adding points to a sweep does not reshuffle
+// existing ones. Every execution path (the ad-hoc sweep runner, the
+// plan scheduler, the cache key) must use this one derivation —
+// cached results are only valid if a point's seed is a pure function
+// of (base seed, index).
+func DeriveSeed(base uint64, i int) uint64 {
+	return base*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+}
+
+// PointConfig fully determines one simulation point over an
+// already-built network. Seed is the point's final derived seed (see
+// DeriveSeed), not a sweep base seed.
+type PointConfig struct {
+	Net         *topology.Network
+	Factory     SourceFactory
+	Load        float64
+	Seed        uint64
+	Warmup      int64
+	Measure     int64
+	QueueLimit  int
+	BufferDepth int
+	Arbitration engine.Arbitration
+}
+
+// Simulate runs the point and reduces the engine statistics to a
+// curve point. This is the single implementation behind both the
+// spec-described (cacheable) and the ad-hoc execution paths; results
+// are bit-exact functions of the config.
+func (c PointConfig) Simulate() (metrics.Point, error) {
+	src, err := c.Factory(c.Load, c.Seed)
+	if err != nil {
+		return metrics.Point{}, err
+	}
+	e, err := engine.New(engine.Config{
+		Net:         c.Net,
+		Source:      src,
+		Seed:        c.Seed ^ 0xd1b54a32d192ed03,
+		QueueLimit:  c.QueueLimit,
+		BufferDepth: c.BufferDepth,
+		Arbitration: c.Arbitration,
+	})
+	if err != nil {
+		return metrics.Point{}, err
+	}
+	e.SetMeasureFrom(c.Warmup)
+	e.Run(c.Warmup + c.Measure)
+	return metrics.FromStats(c.Load, c.Net.Nodes, e.Stats()), nil
+}

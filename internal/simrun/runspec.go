@@ -1,0 +1,201 @@
+package simrun
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"minsim/internal/engine"
+	"minsim/internal/metrics"
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+// specSchemaVersion is bumped whenever the canonical encoding below
+// changes layout, so stale cache entries written under an older
+// encoding can never collide with new keys.
+const specSchemaVersion = 1
+
+// RunSpec fully describes one simulation point declaratively: network
+// and workload specs rather than built objects, the offered load, the
+// cycle budget and the point's final derived seed. Being declarative
+// is what makes it hashable — and therefore cacheable and dedupable.
+type RunSpec struct {
+	Net         NetworkSpec
+	Work        WorkloadSpec
+	Load        float64
+	Warmup      int64
+	Measure     int64
+	Seed        uint64 // derived per-point seed (see DeriveSeed)
+	QueueLimit  int    // 0 = the paper's 100
+	BufferDepth int    // 0 = the paper's single-flit buffers
+	Arbitration engine.Arbitration
+}
+
+// String names the point for logs and cache-entry metadata.
+func (r RunSpec) String() string {
+	return fmt.Sprintf("%s %s load=%g warm=%d meas=%d seed=%d", r.Net, r.Work, r.Load, r.Warmup, r.Measure, r.Seed)
+}
+
+// Key returns the content-address of the spec: a hex SHA-256 over the
+// canonical field encoding and the engine-behavior fingerprint.
+// Specs that Build/Simulate treat identically (default-valued vs
+// explicit fields) share a key; any change to simulation semantics
+// changes the fingerprint and thereby invalidates every prior key.
+// An error means the spec is not canonically encodable (e.g. a
+// user-supplied LengthDist implementation) and must run uncached.
+func (r RunSpec) Key() (string, error) {
+	fp, err := Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "minsim-runspec-v%d\n%s\n", specSchemaVersion, fp)
+
+	n := r.Net.canon()
+	fmt.Fprintf(h, "net %d %d %d %d %d %d %d\n", int(n.Kind), int(n.Pattern), n.K, n.Stages, n.Dilation, n.VCs, n.Extra)
+
+	p := r.Work.Pattern.canon()
+	fmt.Fprintf(h, "work %d %d %x %d %q\n", int(r.Work.Cluster), int(p.Kind), math.Float64bits(p.HotX), p.Butterfly, p.Name)
+	fmt.Fprintf(h, "ratios %d", len(r.Work.Ratios))
+	for _, v := range r.Work.Ratios {
+		fmt.Fprintf(h, " %x", math.Float64bits(v))
+	}
+	fmt.Fprintln(h)
+	if err := hashLengths(h, r.Work.Lengths); err != nil {
+		return "", err
+	}
+
+	qlimit := r.QueueLimit
+	if qlimit == 0 {
+		qlimit = 100 // the engine's paper-standard watermark
+	}
+	depth := r.BufferDepth
+	if depth == 0 {
+		depth = 1 // the paper's single-flit buffers
+	}
+	fmt.Fprintf(h, "point %x %d %d %d %d %d %d\n",
+		math.Float64bits(r.Load), r.Warmup, r.Measure, r.Seed, qlimit, depth, int(r.Arbitration))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// hashLengths canonically encodes the message-length distribution.
+// Only the stock distributions of package traffic are encodable;
+// unknown implementations make the spec uncacheable.
+func hashLengths(h io.Writer, d traffic.LengthDist) error {
+	if d == nil {
+		d = traffic.PaperLengths
+	}
+	switch l := d.(type) {
+	case traffic.UniformLen:
+		fmt.Fprintf(h, "len uniform %d %d\n", l.Min, l.Max)
+	case traffic.FixedLen:
+		fmt.Fprintf(h, "len fixed %d\n", l.L)
+	case traffic.BimodalLen:
+		fmt.Fprintf(h, "len bimodal %d %d %x\n", l.Short, l.Long, math.Float64bits(l.PShort))
+	default:
+		return fmt.Errorf("simrun: length distribution %T has no canonical encoding; point is uncacheable", d)
+	}
+	return nil
+}
+
+// run executes the spec, sharing built networks through nc.
+func (r RunSpec) run(nc *netCache) (metrics.Point, error) {
+	net, err := nc.get(r.Net)
+	if err != nil {
+		return metrics.Point{}, err
+	}
+	return PointConfig{
+		Net:         net,
+		Factory:     r.Work.Factory(net),
+		Load:        r.Load,
+		Seed:        r.Seed,
+		Warmup:      r.Warmup,
+		Measure:     r.Measure,
+		QueueLimit:  r.QueueLimit,
+		BufferDepth: r.BufferDepth,
+		Arbitration: r.Arbitration,
+	}.Simulate()
+}
+
+var fingerprintOnce sync.Once
+var fingerprintVal string
+var fingerprintErr error
+
+// Fingerprint returns a digest of observable engine behavior: a fixed
+// set of probe simulations (small networks, both arbitration modes,
+// deep buffers, hot-spot traffic) is run once per process and the
+// resulting engine statistics are hashed. Any change to simulation
+// semantics — routing, arbitration, flow control, traffic generation,
+// metrics accounting — shifts the digest, so cache entries written
+// under different behavior can never be served. Pure performance
+// work (same results, faster) leaves the fingerprint unchanged, which
+// is exactly the invariant the repo's determinism tests enforce.
+func Fingerprint() (string, error) {
+	fingerprintOnce.Do(func() {
+		fingerprintVal, fingerprintErr = computeFingerprint()
+	})
+	return fingerprintVal, fingerprintErr
+}
+
+// fingerprintProbes are the behavior probes. Small (16-node) networks
+// keep the one-time cost around a millisecond while still exercising
+// the unidirectional and turnaround routers, both arbitration modes,
+// virtual channels, multi-flit buffers and nonuniform traffic.
+func fingerprintProbes() []RunSpec {
+	return []RunSpec{
+		{
+			Net:     NetworkSpec{Kind: topology.TMIN, K: 4, Stages: 2},
+			Work:    WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}, Lengths: traffic.UniformLen{Min: 4, Max: 32}},
+			Load:    0.35,
+			Warmup:  300,
+			Measure: 1500,
+			Seed:    11,
+		},
+		{
+			Net:         NetworkSpec{Kind: topology.BMIN, K: 4, Stages: 2, VCs: 2},
+			Work:        WorkloadSpec{Cluster: Cluster16, Pattern: PatternSpec{Kind: HotSpot, HotX: 0.1}, Lengths: traffic.FixedLen{L: 16}},
+			Load:        0.25,
+			Warmup:      300,
+			Measure:     1500,
+			Seed:        13,
+			BufferDepth: 2,
+			Arbitration: engine.ArbitrateOldestFirst,
+		},
+	}
+}
+
+func computeFingerprint() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "minsim-fingerprint-v%d\n", specSchemaVersion)
+	for i, probe := range fingerprintProbes() {
+		net, err := probe.Net.Build()
+		if err != nil {
+			return "", fmt.Errorf("simrun: fingerprint probe %d: %w", i, err)
+		}
+		src, err := probe.Work.Factory(net)(probe.Load, probe.Seed)
+		if err != nil {
+			return "", fmt.Errorf("simrun: fingerprint probe %d: %w", i, err)
+		}
+		e, err := engine.New(engine.Config{
+			Net:         net,
+			Source:      src,
+			Seed:        probe.Seed ^ 0xd1b54a32d192ed03,
+			BufferDepth: probe.BufferDepth,
+			Arbitration: probe.Arbitration,
+		})
+		if err != nil {
+			return "", fmt.Errorf("simrun: fingerprint probe %d: %w", i, err)
+		}
+		e.SetMeasureFrom(probe.Warmup)
+		e.Run(probe.Warmup + probe.Measure)
+		// The full Stats struct (not just the curve point) so that
+		// semantics visible only in auxiliary counters still shift
+		// the fingerprint.
+		fmt.Fprintf(h, "probe %d %+v\n", i, e.Stats())
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}

@@ -1,0 +1,274 @@
+// Package simrun is the run-plan layer between the experiment
+// definitions (internal/experiments) and the simulation engine. It
+// owns the declarative vocabulary for a single simulation point — a
+// network spec, a workload spec, a load, a cycle budget and a seed —
+// and turns sets of requested load sweeps into a deduplicated plan of
+// point-runs executed on a bounded worker pool, with an optional
+// content-addressed on-disk result cache (see store.go) keyed by a
+// stable hash of the spec plus an engine-behavior fingerprint (see
+// runspec.go).
+//
+// The engine is a pure function of its configuration and seed, so two
+// requests for the same canonical RunSpec always produce byte-equal
+// results; the plan executes each unique spec once no matter how many
+// figure panels ask for it, and the cache makes re-runs of already
+// simulated points free across process invocations.
+package simrun
+
+import (
+	"fmt"
+
+	"minsim/internal/engine"
+	"minsim/internal/kary"
+	"minsim/internal/topology"
+	"minsim/internal/traffic"
+)
+
+// SourceFactory builds a fresh traffic source for a given offered
+// load (flits/node/cycle) and seed.
+type SourceFactory func(load float64, seed uint64) (engine.Source, error)
+
+// NetworkSpec names a buildable network configuration. All paper
+// experiments use 64 nodes with 4x4 switches (K = 4, Stages = 3).
+type NetworkSpec struct {
+	Kind     topology.Kind
+	Pattern  topology.Pattern // for unidirectional kinds
+	K        int
+	Stages   int
+	Dilation int // DMIN only (0 -> 2)
+	VCs      int // VMIN only (0 -> 2); BMIN virtual-channel variant
+	Extra    int // extra distribution stages (unidirectional kinds)
+}
+
+// Build constructs the network.
+func (s NetworkSpec) Build() (*topology.Network, error) {
+	switch s.Kind {
+	case topology.BMIN:
+		v := s.VCs
+		if v == 0 {
+			v = 1
+		}
+		return topology.NewBMINVC(s.K, s.Stages, v)
+	case topology.TMIN:
+		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: 1, VCs: 1, Extra: s.Extra})
+	case topology.DMIN:
+		d := s.Dilation
+		if d == 0 {
+			d = 2
+		}
+		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: d, VCs: 1, Extra: s.Extra})
+	case topology.VMIN:
+		v := s.VCs
+		if v == 0 {
+			v = 2
+		}
+		return topology.NewUnidirectional(topology.UniConfig{K: s.K, Stages: s.Stages, Pattern: s.Pattern, Dilation: 1, VCs: v, Extra: s.Extra})
+	}
+	return nil, fmt.Errorf("simrun: unknown network kind %v", s.Kind)
+}
+
+// canon normalizes the spec so that configurations Build treats
+// identically hash identically: family defaults are applied and
+// fields the family ignores are zeroed.
+func (s NetworkSpec) canon() NetworkSpec {
+	switch s.Kind {
+	case topology.BMIN:
+		s.Pattern, s.Dilation, s.Extra = 0, 0, 0
+		if s.VCs == 0 {
+			s.VCs = 1
+		}
+	case topology.TMIN:
+		s.Dilation, s.VCs = 1, 1
+	case topology.DMIN:
+		s.VCs = 1
+		if s.Dilation == 0 {
+			s.Dilation = 2
+		}
+	case topology.VMIN:
+		s.Dilation = 1
+		if s.VCs == 0 {
+			s.VCs = 2
+		}
+	}
+	return s
+}
+
+// String returns a compact human-readable name, e.g.
+// "DMIN(cube k=4 s=3 d=2)".
+func (s NetworkSpec) String() string {
+	c := s.canon()
+	detail := fmt.Sprintf("%s k=%d s=%d", c.Pattern, c.K, c.Stages)
+	if s.Kind == topology.BMIN {
+		detail = fmt.Sprintf("k=%d s=%d", c.K, c.Stages)
+	}
+	if c.Dilation > 1 {
+		detail += fmt.Sprintf(" d=%d", c.Dilation)
+	}
+	if c.VCs > 1 {
+		detail += fmt.Sprintf(" vc=%d", c.VCs)
+	}
+	if c.Extra > 0 {
+		detail += fmt.Sprintf(" x=%d", c.Extra)
+	}
+	return fmt.Sprintf("%s(%s)", s.Kind, detail)
+}
+
+// ClusterSpec names a node clustering of the 64-node system.
+type ClusterSpec int
+
+// Clustering scopes from Section 5.1 of the paper.
+const (
+	Global          ClusterSpec = iota // one 64-node cluster
+	Cluster16                          // four base cubes 0XX..3XX
+	Cluster16Shared                    // butterfly channel-shared XX0..XX3
+	Cluster32                          // two binary-cube halves
+)
+
+// String returns the human-readable name.
+func (c ClusterSpec) String() string {
+	switch c {
+	case Global:
+		return "global"
+	case Cluster16:
+		return "cluster-16"
+	case Cluster16Shared:
+		return "cluster-16-shared"
+	case Cluster32:
+		return "cluster-32"
+	}
+	return fmt.Sprintf("ClusterSpec(%d)", int(c))
+}
+
+// clustering materializes the spec for an N-node radix space.
+func (c ClusterSpec) clustering(r kary.Radix) traffic.Clustering {
+	switch c {
+	case Cluster16:
+		return traffic.Cluster16(r)
+	case Cluster16Shared:
+		return traffic.Cluster16Shared(r)
+	case Cluster32:
+		return traffic.Halves(r.Size())
+	default:
+		return traffic.Global(r.Size())
+	}
+}
+
+// PatternSpec names a destination pattern.
+type PatternSpec struct {
+	Kind      PatternKind
+	HotX      float64 // HotSpot: extra fraction (0.05 = "5% more")
+	Butterfly int     // ButterflyPerm: permutation index i
+	Name      string  // NamedPerm: traffic.PatternByName name
+}
+
+// PatternKind enumerates the paper's four traffic patterns plus the
+// named classic permutations of traffic.PatternByName.
+type PatternKind int
+
+// Pattern kinds.
+const (
+	Uniform PatternKind = iota
+	HotSpot
+	ShufflePerm
+	ButterflyPerm
+	NamedPerm
+)
+
+// String returns the human-readable name.
+func (p PatternSpec) String() string {
+	switch p.Kind {
+	case Uniform:
+		return "uniform"
+	case HotSpot:
+		return fmt.Sprintf("hotspot-%g%%", 100*p.HotX)
+	case ShufflePerm:
+		return "shuffle"
+	case ButterflyPerm:
+		return fmt.Sprintf("butterfly-%d", p.Butterfly)
+	case NamedPerm:
+		return p.Name
+	}
+	return fmt.Sprintf("PatternSpec(%d)", int(p.Kind))
+}
+
+// canon zeroes the parameters the pattern kind ignores, so equivalent
+// specs hash identically.
+func (p PatternSpec) canon() PatternSpec {
+	switch p.Kind {
+	case Uniform, ShufflePerm:
+		return PatternSpec{Kind: p.Kind}
+	case HotSpot:
+		return PatternSpec{Kind: p.Kind, HotX: p.HotX}
+	case ButterflyPerm:
+		return PatternSpec{Kind: p.Kind, Butterfly: p.Butterfly}
+	case NamedPerm:
+		return PatternSpec{Kind: p.Kind, Name: p.Name}
+	}
+	return p
+}
+
+// WorkloadSpec is a complete traffic description.
+type WorkloadSpec struct {
+	Cluster ClusterSpec
+	Pattern PatternSpec
+	Ratios  []float64          // per-cluster load ratios (nil = equal)
+	Lengths traffic.LengthDist // nil = paper's U{8..1024}
+}
+
+// String returns the human-readable name.
+func (w WorkloadSpec) String() string {
+	s := fmt.Sprintf("%s %s", w.Cluster, w.Pattern)
+	if w.Ratios != nil {
+		s += fmt.Sprintf(" ratios %v", w.Ratios)
+	}
+	return s
+}
+
+// Factory returns a SourceFactory realizing the workload on the given
+// network.
+func (w WorkloadSpec) Factory(net *topology.Network) SourceFactory {
+	lengths := w.Lengths
+	if lengths == nil {
+		lengths = traffic.PaperLengths
+	}
+	c := w.Cluster.clustering(net.R)
+	var pattern traffic.Pattern
+	var patErr error
+	switch w.Pattern.Kind {
+	case Uniform:
+		pattern = traffic.Uniform{C: c}
+	case HotSpot:
+		pattern = traffic.HotSpot{C: c, X: w.Pattern.HotX}
+	case ShufflePerm:
+		pattern = traffic.ShufflePattern(net.R)
+	case ButterflyPerm:
+		pattern = traffic.ButterflyPattern(net.R, w.Pattern.Butterfly)
+	case NamedPerm:
+		pattern, patErr = traffic.PatternByName(w.Pattern.Name, net.R, c)
+	}
+	return func(load float64, seed uint64) (engine.Source, error) {
+		if patErr != nil {
+			return nil, patErr
+		}
+		rates, err := traffic.NodeRates(c, load, lengths.Mean(), w.Ratios)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewWorkload(traffic.Config{
+			Nodes:   net.Nodes,
+			Pattern: pattern,
+			Lengths: lengths,
+			Rates:   rates,
+			Seed:    seed,
+		})
+	}
+}
+
+// Budget sets the simulation effort per point.
+type Budget struct {
+	WarmupCycles  int64
+	MeasureCycles int64
+	Seed          uint64
+	QueueLimit    int
+	Parallelism   int
+}

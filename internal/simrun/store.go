@@ -1,0 +1,99 @@
+package simrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"minsim/internal/metrics"
+)
+
+// DefaultCacheDir is where the CLIs keep the content-addressed result
+// cache, relative to the working directory.
+const DefaultCacheDir = "results/cache"
+
+// Store is a content-addressed on-disk result cache: one JSON file
+// per RunSpec key under dir. Writes are atomic (temp file + rename),
+// so a crashed or interrupted run never leaves a truncated entry that
+// parses; unreadable, corrupt or mismatched entries are treated as
+// misses and recomputed, never trusted.
+type Store struct {
+	dir        string
+	writeFails atomic.Int64
+}
+
+// storeEntry is the file layout of one cached result. Key is repeated
+// inside the file so a copied or renamed entry cannot masquerade as a
+// different spec's result.
+type storeEntry struct {
+	Key   string        `json:"key"`
+	Spec  string        `json:"spec"` // human-readable, for cache spelunking
+	Point metrics.Point `json:"point"`
+}
+
+// NewStore opens (creating if needed) a cache rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("simrun: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simrun: cache dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the cached point for key, or ok=false on a miss —
+// including every corruption case (unreadable file, bad JSON, key
+// mismatch), which a subsequent Put simply overwrites.
+func (s *Store) Get(key string) (metrics.Point, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return metrics.Point{}, false
+	}
+	var e storeEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		return metrics.Point{}, false
+	}
+	return e.Point, true
+}
+
+// Put stores a result atomically. Failures are counted but not fatal:
+// a cache that cannot be written degrades to recomputation, it must
+// never abort the simulation that produced the result.
+func (s *Store) Put(key, spec string, p metrics.Point) {
+	data, err := json.MarshalIndent(storeEntry{Key: key, Spec: spec, Point: p}, "", "  ")
+	if err != nil {
+		s.writeFails.Add(1)
+		return
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		s.writeFails.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.writeFails.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		s.writeFails.Add(1)
+	}
+}
+
+// WriteFailures reports how many Puts could not be persisted, for
+// CLIs that want to warn about a degraded cache.
+func (s *Store) WriteFailures() int64 { return s.writeFails.Load() }

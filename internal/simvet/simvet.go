@@ -101,6 +101,7 @@ func Analyzers() []*Analyzer {
 var deterministicSuffixes = []string{
 	"internal/engine",
 	"internal/routing",
+	"internal/simrun",
 	"internal/sweep",
 	"internal/traffic",
 	"internal/xrand",

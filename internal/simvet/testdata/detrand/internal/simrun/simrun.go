@@ -1,0 +1,18 @@
+// Package simrun is a deterministic-package fixture: the run-plan
+// layer is under the determinism contract (cache keys and cached
+// results must be pure functions of the spec), so wall-clock reads and
+// stdlib randomness must be rejected here exactly as in the engine.
+package simrun
+
+import (
+	mrand "math/rand/v2" // want `import of math/rand/v2 in deterministic package`
+	"time"
+)
+
+// Schedule must not jitter worker dispatch with global randomness or
+// timestamp cache entries.
+func Schedule(n int) (int, int64) {
+	pick := mrand.IntN(n)
+	stamp := time.Now().UnixNano() // want `time.Now in deterministic package`
+	return pick, stamp
+}

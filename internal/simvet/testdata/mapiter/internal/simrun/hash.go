@@ -1,0 +1,32 @@
+// Package simrun is a deterministic-package fixture for mapiter: a
+// content hash folded over a map in iteration order would give the
+// same plan different cache keys on different runs, so the unsorted
+// loop must be rejected while the sorted-key harvest idiom passes.
+package simrun
+
+import "sort"
+
+// HashSorted mirrors the only safe way to fold a map into a cache
+// key: harvest the keys, sort them, then fold in slice order.
+func HashSorted(fields map[string]uint64) uint64 {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h uint64
+	for _, k := range keys {
+		h = h*31 + fields[k]
+	}
+	return h
+}
+
+// HashUnsorted folds in map order: the key would depend on Go's
+// randomized iteration, so every run would miss the cache.
+func HashUnsorted(fields map[string]uint64) uint64 {
+	var h uint64
+	for _, v := range fields { // want `range over a map: iteration order is nondeterministic`
+		h = h*31 + v
+	}
+	return h
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"minsim/internal/metrics"
@@ -22,15 +23,16 @@ const trackTol = 0.08
 // the load resolution at which bisection stops.
 //
 // The Config's Loads field is ignored; everything else (network,
-// factory, cycle budget, seed) applies to each probe.
-func FindSaturation(cfg Config, lo, hi, tol float64) (float64, metrics.Point, error) {
+// factory, cycle budget, seed) applies to each probe. Cancelling ctx
+// aborts the search between probes.
+func FindSaturation(ctx context.Context, cfg Config, lo, hi, tol float64) (float64, metrics.Point, error) {
 	if lo < 0 || hi <= lo || tol <= 0 {
 		return 0, metrics.Point{}, fmt.Errorf("sweep: bad saturation bracket [%v, %v] tol %v", lo, hi, tol)
 	}
 	probe := func(load float64) (metrics.Point, error) {
 		c := cfg
 		c.Loads = []float64{load}
-		pts, err := Run(c)
+		pts, err := RunContext(ctx, c)
 		if err != nil {
 			return metrics.Point{}, err
 		}

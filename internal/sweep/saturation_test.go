@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"minsim/internal/traffic"
@@ -16,7 +17,7 @@ func TestFindSaturation(t *testing.T) {
 		Seed:          5,
 		QueueLimit:    30,
 	}
-	load, pt, err := FindSaturation(cfg, 0.05, 2.0, 0.05)
+	load, pt, err := FindSaturation(context.Background(), cfg, 0.05, 2.0, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestFindSaturationWholeRangeSustainable(t *testing.T) {
 		Seed:          6,
 		QueueLimit:    100,
 	}
-	load, pt, err := FindSaturation(cfg, 0.01, 0.05, 0.01)
+	load, pt, err := FindSaturation(context.Background(), cfg, 0.01, 0.05, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,17 +64,17 @@ func TestFindSaturationErrors(t *testing.T) {
 		QueueLimit:    5,
 	}
 	// Bad brackets.
-	if _, _, err := FindSaturation(cfg, 0.5, 0.1, 0.01); err == nil {
+	if _, _, err := FindSaturation(context.Background(), cfg, 0.5, 0.1, 0.01); err == nil {
 		t.Error("inverted bracket accepted")
 	}
-	if _, _, err := FindSaturation(cfg, -1, 0.1, 0.01); err == nil {
+	if _, _, err := FindSaturation(context.Background(), cfg, -1, 0.1, 0.01); err == nil {
 		t.Error("negative bracket accepted")
 	}
-	if _, _, err := FindSaturation(cfg, 0.1, 0.5, 0); err == nil {
+	if _, _, err := FindSaturation(context.Background(), cfg, 0.1, 0.5, 0); err == nil {
 		t.Error("zero tolerance accepted")
 	}
 	// Unsustainable lower bound.
-	if _, _, err := FindSaturation(cfg, 5.0, 6.0, 0.5); err == nil {
+	if _, _, err := FindSaturation(context.Background(), cfg, 5.0, 6.0, 0.5); err == nil {
 		t.Error("unsustainable lower bound accepted")
 	}
 }

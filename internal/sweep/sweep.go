@@ -3,21 +3,28 @@
 // description is immutable and shared; every point gets its own
 // engine, traffic source and PRNG streams so results are independent
 // of scheduling).
+//
+// sweep is the ad-hoc entry point: callers hand it an already-built
+// network and a source factory, so its points cannot be hashed, shared
+// across figures or cached. Execution is delegated to the simrun plan
+// layer (as opaque point functions), which is also what the
+// spec-described, cacheable path in internal/experiments uses — the
+// two paths run the exact same per-point code, simrun.PointConfig.
 package sweep
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"minsim/internal/engine"
 	"minsim/internal/metrics"
+	"minsim/internal/simrun"
 	"minsim/internal/topology"
 )
 
 // SourceFactory builds a fresh traffic source for a given offered
 // load (flits/node/cycle) and seed.
-type SourceFactory func(load float64, seed uint64) (engine.Source, error)
+type SourceFactory = simrun.SourceFactory
 
 // Config describes a sweep.
 type Config struct {
@@ -53,67 +60,43 @@ func (c Config) validate() error {
 // Run executes the sweep and returns one Point per load, in load
 // order. The first error encountered aborts the sweep.
 func Run(cfg Config) ([]metrics.Point, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: on ctx cancellation the sweep
+// stops scheduling new points and returns ctx's error.
+func RunContext(ctx context.Context, cfg Config) ([]metrics.Point, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	plan := simrun.NewPlan()
+	h := plan.AddFunc(len(cfg.Loads), func(i int) (metrics.Point, error) {
+		return runPoint(cfg, i)
+	})
+	if err := plan.Execute(ctx, simrun.Options{Workers: cfg.Parallelism}); err != nil {
+		return nil, err
 	}
-	if workers > len(cfg.Loads) {
-		workers = len(cfg.Loads)
-	}
-
-	points := make([]metrics.Point, len(cfg.Loads))
-	errs := make([]error, len(cfg.Loads))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				points[i], errs[i] = runPoint(cfg, i)
-			}
-		}()
-	}
-	for i := range cfg.Loads {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return points, nil
+	return h.Points()
 }
 
 // runPoint simulates a single offered-load point.
 func runPoint(cfg Config, i int) (metrics.Point, error) {
 	load := cfg.Loads[i]
-	// Derive a per-point seed so adding points does not reshuffle
-	// existing ones.
-	seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
-	src, err := cfg.Factory(load, seed)
-	if err != nil {
-		return metrics.Point{}, fmt.Errorf("sweep: load %v: %w", load, err)
-	}
-	e, err := engine.New(engine.Config{
+	pt, err := simrun.PointConfig{
 		Net:         cfg.Net,
-		Source:      src,
-		Seed:        seed ^ 0xd1b54a32d192ed03,
+		Factory:     cfg.Factory,
+		Load:        load,
+		Seed:        simrun.DeriveSeed(cfg.Seed, i),
+		Warmup:      cfg.WarmupCycles,
+		Measure:     cfg.MeasureCycles,
 		QueueLimit:  cfg.QueueLimit,
 		BufferDepth: cfg.BufferDepth,
 		Arbitration: cfg.Arbitration,
-	})
+	}.Simulate()
 	if err != nil {
 		return metrics.Point{}, fmt.Errorf("sweep: load %v: %w", load, err)
 	}
-	e.SetMeasureFrom(cfg.WarmupCycles)
-	e.Run(cfg.WarmupCycles + cfg.MeasureCycles)
-	return metrics.FromStats(load, cfg.Net.Nodes, e.Stats()), nil
+	return pt, nil
 }
 
 // LoadRange returns count loads evenly spaced over [lo, hi],
