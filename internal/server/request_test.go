@@ -1,0 +1,85 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"minsim/internal/experiments"
+)
+
+var testLimits = limits{maxExperiments: 8, maxPoints: 1000, maxCycles: 10_000_000}
+
+// tinyExperiment is a 16-node two-point sweep that simulates in
+// milliseconds; measure is spliced in so tests can also build slow
+// jobs from the same definition.
+const tinyExperimentJSON = `{
+  "id": "tiny",
+  "loads": [0.1, 0.2],
+  "curves": [
+    {"label": "t", "network": {"kind": "tmin", "k": 4, "stages": 2},
+     "workload": {"pattern": "uniform"}}
+  ]
+}`
+
+func TestParseRunRequestValid(t *testing.T) {
+	body := `{"figures":["fig16a"],"experiments":[` + tinyExperimentJSON + `],
+	          "budget":{"preset":"quick","measure":2000,"seed":7}}`
+	exps, budget, err := parseRunRequest([]byte(body), testLimits)
+	if err != nil {
+		t.Fatalf("parseRunRequest: %v", err)
+	}
+	if len(exps) != 2 || exps[0].ID != "fig16a" || exps[1].ID != "tiny" {
+		t.Fatalf("wrong experiments: %+v", exps)
+	}
+	if budget.MeasureCycles != 2000 || budget.Seed != 7 {
+		t.Fatalf("overrides not applied: %+v", budget)
+	}
+	if budget.WarmupCycles != experiments.QuickBudget.WarmupCycles {
+		t.Fatalf("preset warmup not kept: %+v", budget)
+	}
+}
+
+func TestParseRunRequestErrors(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"garbage", `{`, "invalid request JSON"},
+		{"unknown field", `{"figs":["fig16a"]}`, "invalid request JSON"},
+		{"empty", `{}`, "no experiments requested"},
+		{"unknown figure", `{"figures":["fig99z"]}`, "unknown figure id"},
+		{"bad preset", `{"figures":["fig16a"],"budget":{"preset":"huge"}}`, "unknown budget preset"},
+		{"negative cycles", `{"figures":["fig16a"],"budget":{"measure":-5}}`, "negative cycle budget"},
+		{"over cycle cap", `{"figures":["fig16a"],"budget":{"measure":999999999}}`, "exceeds the per-point limit"},
+		{"bad inline experiment", `{"experiments":[{"id":"x","loads":[],"curves":[]}]}`, "experiments[0]"},
+		{"inline bad network", `{"experiments":[{"id":"x","loads":[0.1],
+		   "curves":[{"label":"c","network":{"kind":"warp"},"workload":{}}]}]}`, "unknown network kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := parseRunRequest([]byte(tc.body), testLimits)
+			if err == nil {
+				t.Fatalf("no error for %s", tc.body)
+			}
+			if _, ok := err.(*requestError); !ok {
+				t.Fatalf("error %v is not a *requestError", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRunRequestCaps(t *testing.T) {
+	lim := testLimits
+	lim.maxPoints = 3 // tiny requests 2 loads x 1 curve = 2 points; two copies = 4
+	body := `{"experiments":[` + tinyExperimentJSON + `,` + tinyExperimentJSON + `]}`
+	if _, _, err := parseRunRequest([]byte(body), lim); err == nil || !strings.Contains(err.Error(), "load points") {
+		t.Fatalf("point cap not enforced: %v", err)
+	}
+	lim = testLimits
+	lim.maxExperiments = 1
+	if _, _, err := parseRunRequest([]byte(body), lim); err == nil || !strings.Contains(err.Error(), "experiments requested") {
+		t.Fatalf("experiment cap not enforced: %v", err)
+	}
+}

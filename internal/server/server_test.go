@@ -1,0 +1,327 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"minsim/internal/simrun"
+)
+
+// newTestServer builds a server over a scratch store with tight,
+// test-friendly hardening knobs, plus overrides.
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	store, err := simrun.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := &bytes.Buffer{}
+	cfg := Config{
+		Store:        store,
+		QueueDepth:   1,
+		JobWorkers:   1,
+		JobTimeout:   time.Minute,
+		DrainTimeout: 300 * time.Millisecond,
+		RetryAfter:   2 * time.Second,
+		LogWriter:    logs,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	})
+	return s, ts, logs
+}
+
+// fastRunBody requests the tiny 16-node experiment with a very small
+// cycle budget; slowRunBody makes the same experiment's first point
+// take seconds, keeping its worker busy.
+const (
+	fastBudget  = `"budget":{"warmup":200,"measure":1000}`
+	slowBudget  = `"budget":{"warmup":200,"measure":3000000}`
+	fastRunBody = `{"experiments":[` + tinyExperimentJSON + `],` + fastBudget + `}`
+	slowRunBody = `{"experiments":[` + tinyExperimentJSON + `],` + slowBudget + `}`
+)
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// waitStatus polls a job until it reaches want (or fails the test).
+func waitStatus(t *testing.T, base, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var snap jobSnapshot
+		getJSON(t, base+"/v1/jobs/"+id, &snap)
+		if snap.Status == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached status %q", id, want)
+}
+
+func TestHTTPValidationErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		body     string
+		wantCode int
+		wantMsg  string
+	}{
+		{`{`, http.StatusBadRequest, "invalid request JSON"},
+		{`{}`, http.StatusBadRequest, "no experiments requested"},
+		{`{"figures":["nope"]}`, http.StatusBadRequest, "unknown figure id"},
+		{`{"figures":["fig16a"],"budget":{"measure":99999999999}}`, http.StatusBadRequest, "per-point limit"},
+	}
+	for _, path := range []string{"/v1/run", "/v1/jobs"} {
+		for _, tc := range cases {
+			resp, body := postJSON(t, ts.URL+path, tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Errorf("POST %s %q: code %d, want %d", path, tc.body, resp.StatusCode, tc.wantCode)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error, tc.wantMsg) {
+				t.Errorf("POST %s %q: body %q lacks %q", path, tc.body, body, tc.wantMsg)
+			}
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs/j-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: code %d, want 404", resp.StatusCode)
+	}
+
+	// Body cap: a request over MaxBodyBytes is refused with 413.
+	_, tsSmall, _ := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 64 })
+	resp, _ := postJSON(t, tsSmall.URL+"/v1/run", fastRunBody)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: code %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestSyncRunWarmCache(t *testing.T) {
+	_, ts, logs := newTestServer(t, nil)
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", fastRunBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: code %d body %s", resp.StatusCode, body)
+	}
+	var cold jobSnapshot
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != statusDone || cold.Counters.Executed != cold.Counters.Unique || cold.Counters.Executed == 0 {
+		t.Fatalf("cold run: %+v", cold)
+	}
+	if len(cold.Figures) != 1 || len(cold.Figures[0].Series) != 1 || len(cold.Figures[0].Series[0].Points) != 2 {
+		t.Fatalf("cold run figures: %+v", cold.Figures)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/run", fastRunBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: code %d body %s", resp.StatusCode, body)
+	}
+	var warm jobSnapshot
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Counters.Executed != 0 || warm.Counters.Cached != cold.Counters.Unique {
+		t.Fatalf("warm run did not hit the cache: %+v", warm.Counters)
+	}
+	if fmt.Sprint(warm.Figures) != fmt.Sprint(cold.Figures) {
+		t.Fatal("warm figures differ from cold figures")
+	}
+
+	// Structured request log: one JSON line per request.
+	var entry logEntry
+	line, _, _ := strings.Cut(logs.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("request log line %q: %v", line, err)
+	}
+	if entry.Method != "POST" || entry.Path != "/v1/run" || entry.Status != http.StatusOK {
+		t.Fatalf("request log entry: %+v", entry)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	// Occupy the single worker with a slow job...
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", slowRunBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow job: code %d body %s", resp.StatusCode, body)
+	}
+	var slow struct{ ID string }
+	json.Unmarshal(body, &slow)
+	waitStatus(t, ts.URL, slow.ID, statusRunning)
+
+	// ...fill the depth-1 queue...
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", fastRunBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued job: code %d body %s", resp.StatusCode, body)
+	}
+	var queued struct{ ID string }
+	json.Unmarshal(body, &queued)
+
+	// ...and the next submission must be rejected with backpressure.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", fastRunBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: code %d body %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+
+	// Canceling the queued job is immediate; canceling the running job
+	// cuts its context and the worker finishes it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %v %v", resp.StatusCode, err)
+	}
+	waitStatus(t, ts.URL, queued.ID, statusCanceled)
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+slow.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: %v %v", resp.StatusCode, err)
+	}
+	waitStatus(t, ts.URL, slow.ID, statusCanceled)
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", slowRunBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow job: code %d body %s", resp.StatusCode, body)
+	}
+	var running struct{ ID string }
+	json.Unmarshal(body, &running)
+	waitStatus(t, ts.URL, running.ID, statusRunning)
+
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", fastRunBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued job: code %d body %s", resp.StatusCode, body)
+	}
+	var queued struct{ ID string }
+	json.Unmarshal(body, &queued)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Queued work was canceled, the running job was cut at the drain
+	// deadline, and both are terminal.
+	var snap jobSnapshot
+	getJSON(t, ts.URL+"/v1/jobs/"+queued.ID, &snap)
+	if snap.Status != statusCanceled {
+		t.Fatalf("queued job after drain: %+v", snap)
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+running.ID, &snap)
+	if snap.Status != statusCanceled && snap.Status != statusDone {
+		t.Fatalf("running job after drain: %+v", snap)
+	}
+
+	// The service reports draining and refuses new work with 503.
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: code %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", fastRunBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: code %d, want 503", resp.StatusCode)
+	}
+}
+
+// metricValue extracts a sample value from Prometheus text output.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+			t.Fatalf("metric %s: bad value %q", name, rest)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return 0
+}
+
+func TestMetricsCounters(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	for i := 0; i < 2; i++ { // cold then warm
+		if resp, body := postJSON(t, ts.URL+"/v1/run", fastRunBody); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: code %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+
+	checks := map[string]float64{
+		"simd_ready":                            1,
+		"simd_queue_depth":                      0,
+		"simd_queue_capacity":                   1,
+		"simd_jobs_inflight":                    0,
+		`simd_jobs_total{status="done"}`:        2,
+		`simd_jobs_total{status="failed"}`:      0,
+		"simd_points_executed_total":            2, // tiny = 2 unique points, cold run only
+		"simd_points_cached_total":              2, // warm run served both from the store
+		"simd_cache_hits_total":                 2,
+		"simd_cache_misses_total":               2,
+		"simd_job_duration_seconds_count":       2,
+		`simd_http_requests_total{class="2xx"}`: 2,
+	}
+	for name, want := range checks {
+		if got := metricValue(t, text, name); got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}

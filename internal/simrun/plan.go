@@ -130,15 +130,17 @@ func (h *Handle) Points() ([]metrics.Point, error) {
 	return out, nil
 }
 
-// Counters snapshots plan progress for observability.
+// Counters snapshots plan progress for observability. The JSON tags
+// are the wire format of the simd service's progress snapshots
+// (internal/server), so renaming them is an API change.
 type Counters struct {
-	Requested int // points requested across all sweeps, duplicates included
-	Unique    int // deduplicated point-runs the plan will actually execute or fetch
-	Cached    int // served from the result store
-	Executed  int // simulated during this execution
-	Running   int // currently simulating
-	Failed    int // completed with an error
-	Done      int // cached + executed (failures included)
+	Requested int `json:"requested"` // points requested across all sweeps, duplicates included
+	Unique    int `json:"unique"`    // deduplicated point-runs the plan will actually execute or fetch
+	Cached    int `json:"cached"`    // served from the result store
+	Executed  int `json:"executed"`  // simulated during this execution
+	Running   int `json:"running"`   // currently simulating
+	Failed    int `json:"failed"`    // completed with an error
+	Done      int `json:"done"`      // cached + executed (failures included)
 }
 
 // Options parameterizes one Execute call.

@@ -21,6 +21,8 @@ const DefaultCacheDir = "results/cache"
 // misses and recomputed, never trusted.
 type Store struct {
 	dir        string
+	hits       atomic.Int64
+	misses     atomic.Int64
 	writeFails atomic.Int64
 }
 
@@ -57,12 +59,15 @@ func (s *Store) path(key string) string {
 func (s *Store) Get(key string) (metrics.Point, bool) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
+		s.misses.Add(1)
 		return metrics.Point{}, false
 	}
 	var e storeEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		s.misses.Add(1)
 		return metrics.Point{}, false
 	}
+	s.hits.Add(1)
 	return e.Point, true
 }
 
@@ -97,3 +102,21 @@ func (s *Store) Put(key, spec string, p metrics.Point) {
 // WriteFailures reports how many Puts could not be persisted, for
 // CLIs that want to warn about a degraded cache.
 func (s *Store) WriteFailures() int64 { return s.writeFails.Load() }
+
+// StoreStats is a snapshot of a store's lookup and persistence
+// counters, accumulated across every plan execution sharing the store
+// (the simd service exports these on /metrics).
+type StoreStats struct {
+	Hits       int64 `json:"hits"`        // Get calls served from disk
+	Misses     int64 `json:"misses"`      // Get calls that fell through to simulation
+	WriteFails int64 `json:"write_fails"` // Puts that could not be persisted
+}
+
+// Stats returns the store's lifetime lookup counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		WriteFails: s.writeFails.Load(),
+	}
+}

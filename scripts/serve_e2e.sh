@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end gate for the simd simulation service, run by the CI job
+# serve-e2e and runnable locally (./scripts/serve_e2e.sh). It proves
+# the four hardening properties the service promises:
+#
+#   1. a quick figure panel served over HTTP,
+#   2. the warm repeat of the same request executes 0 simulations
+#      (content-addressed cache shared across requests),
+#   3. a saturated bounded queue answers 429 with a Retry-After hint,
+#   4. SIGTERM drains in-flight jobs and exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SIMD_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+SIMD_PID=""
+cleanup() {
+  [ -n "$SIMD_PID" ] && kill -9 "$SIMD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/simd" ./cmd/simd
+
+echo "== boot"
+"$WORK/simd" -addr "127.0.0.1:$PORT" -cache "$WORK/cache" \
+  -queue 1 -job-workers 1 -drain-timeout 2s 2> "$WORK/simd.log" &
+SIMD_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" > /dev/null 2>&1 && break
+  if ! kill -0 "$SIMD_PID" 2>/dev/null; then
+    echo "simd died during boot"; cat "$WORK/simd.log"; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz"
+
+PANEL='{"figures":["fig16a"],"budget":{"preset":"quick"}}'
+
+echo "== cold run"
+cold=$(curl -fsS -X POST "$BASE/v1/run" -d "$PANEL")
+echo "$cold" | grep -o '"counters":{[^}]*}'
+echo "$cold" | grep -q '"status":"done"' || { echo "cold run not done"; exit 1; }
+echo "$cold" | grep -q '"executed":[1-9]' || { echo "cold run executed nothing"; exit 1; }
+
+echo "== warm run (must execute 0 points)"
+warm=$(curl -fsS -X POST "$BASE/v1/run" -d "$PANEL")
+echo "$warm" | grep -o '"counters":{[^}]*}'
+echo "$warm" | grep -q '"executed":0' || { echo "warm run re-executed points"; exit 1; }
+
+# A slow job (3M cycles/point on a small net) pins the single worker
+# so the depth-1 queue can be saturated deterministically.
+SLOW='{"experiments":[{"id":"slow","loads":[0.1,0.2],"curves":[{"label":"t","network":{"kind":"tmin","k":4,"stages":2},"workload":{"pattern":"uniform"}}]}],"budget":{"warmup":200,"measure":3000000}}'
+
+echo "== saturate the queue (expect 429 + Retry-After)"
+slow_id=$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SLOW" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/v1/jobs/$slow_id" | grep -q '"status":"running"' && break
+  sleep 0.1
+done
+curl -fsS -X POST "$BASE/v1/jobs" -d "$SLOW" > /dev/null # fills the depth-1 queue
+headers=$(curl -s -D - -o /dev/null -X POST "$BASE/v1/jobs" -d "$SLOW")
+echo "$headers" | head -1
+echo "$headers" | grep -q ' 429' || { echo "saturated queue did not return 429"; exit 1; }
+echo "$headers" | grep -qi '^retry-after:' || { echo "429 lacked Retry-After"; exit 1; }
+
+echo "== metrics surface"
+metrics=$(curl -fsS "$BASE/metrics")
+echo "$metrics" | grep -q '^simd_jobs_total{status="rejected"} 1$' \
+  || { echo "rejected counter wrong"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^simd_points_cached_total' || { echo "missing cache metrics"; exit 1; }
+echo "$metrics" | grep -q '^simd_queue_depth' || { echo "missing queue metrics"; exit 1; }
+
+echo "== SIGTERM drains and exits 0"
+kill -TERM "$SIMD_PID"
+rc=0
+wait "$SIMD_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "simd exited $rc after SIGTERM"; cat "$WORK/simd.log"; exit 1
+fi
+SIMD_PID=""
+
+echo "== request log is structured JSON"
+grep -q '"method":"POST","path":"/v1/run","status":200' "$WORK/simd.log" \
+  || { echo "missing structured request log"; cat "$WORK/simd.log"; exit 1; }
+
+echo "serve-e2e: all checks passed"
