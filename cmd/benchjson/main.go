@@ -8,7 +8,8 @@
 // Usage:
 //
 //	benchjson                  # full run, writes BENCH_<git rev>.json
-//	benchjson -skip-figures    # engine micro-benchmarks only
+//	benchjson -skip-figures    # skip the per-panel sweep benchmarks
+//	benchjson -skip-replicas   # skip the ReplicaSet amortization curve
 //	benchjson -out bench.json  # explicit output path
 //	benchjson -diff [-threshold 0.05] old.json new.json
 //
@@ -28,6 +29,14 @@
 // go through the simrun plan layer like the real figures, but with no
 // result store attached: every iteration simulates from scratch, so
 // the timings can never be polluted by cache hits.
+//
+// The replica section records the batched-replica amortization curve:
+// for each paper network and lane count R in {1, 4, 8, 16}, the full
+// cost of a replicated load point per simulated replica-cycle, batched
+// in one lockstep engine.ReplicaSet versus run as R independent scalar
+// engines. Baselines written before the batched engine lack the
+// section; diff mode reports a one-sided section informationally
+// rather than failing.
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 
 	"minsim/internal/engine"
 	"minsim/internal/experiments"
+	"minsim/internal/simrun"
 	"minsim/internal/traffic"
 )
 
@@ -65,23 +75,40 @@ type FigureResult struct {
 	LoadPoints  int     `json:"load_points"`
 }
 
-// Baseline is the file layout of BENCH_<rev>.json.
+// ReplicaResult is one point of the ReplicaSet amortization curve:
+// the full cost of a replicated load point (source + engine
+// construction plus the warmup+measure run) per simulated
+// replica-cycle, for the lockstep batch and for the same lanes run as
+// independent scalar engines.
+type ReplicaResult struct {
+	Lanes                   int     `json:"lanes"`
+	NsPerReplicaCycle       float64 `json:"ns_per_replica_cycle"`
+	ScalarNsPerReplicaCycle float64 `json:"scalar_ns_per_replica_cycle"`
+	Speedup                 float64 `json:"speedup"`
+}
+
+// Baseline is the file layout of BENCH_<rev>.json. Replicas is absent
+// from baselines that predate the batched-replica engine; diff mode
+// treats a one-sided replica section as informational, never a
+// failure.
 type Baseline struct {
-	Revision   string                  `json:"revision"`
-	GoVersion  string                  `json:"go_version"`
-	GOMAXPROCS int                     `json:"gomaxprocs"`
-	Budget     experiments.Budget      `json:"figure_budget"`
-	Engine     map[string]EngineResult `json:"engine"`
-	Figures    map[string]FigureResult `json:"figures"`
+	Revision   string                     `json:"revision"`
+	GoVersion  string                     `json:"go_version"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Budget     experiments.Budget         `json:"figure_budget"`
+	Engine     map[string]EngineResult    `json:"engine"`
+	Figures    map[string]FigureResult    `json:"figures"`
+	Replicas   map[string][]ReplicaResult `json:"replicas,omitempty"`
 }
 
 func main() {
 	var (
-		out         = flag.String("out", "", "output path (default BENCH_<rev>.json)")
-		rev         = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
-		skipFigures = flag.Bool("skip-figures", false, "run only the engine micro-benchmarks")
-		diff        = flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of benchmarking")
-		threshold   = flag.Float64("threshold", 0.05, "diff mode: allowed ns/cycle regression fraction; negative disables gating")
+		out          = flag.String("out", "", "output path (default BENCH_<rev>.json)")
+		rev          = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
+		skipFigures  = flag.Bool("skip-figures", false, "skip the figure-sweep benchmarks")
+		skipReplicas = flag.Bool("skip-replicas", false, "skip the ReplicaSet amortization benchmarks")
+		diff         = flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of benchmarking")
+		threshold    = flag.Float64("threshold", 0.05, "diff mode: allowed ns/cycle regression fraction; negative disables gating")
 	)
 	flag.Parse()
 
@@ -120,6 +147,21 @@ func main() {
 		b.Engine[ns.Name] = res
 		fmt.Printf("engine/%-16s %10.0f cycles/sec  %7.1f ns/cycle  %5.2f allocs/cycle\n",
 			ns.Name, res.CyclesPerSec, res.NsPerCycle, res.AllocsPerCycle)
+	}
+
+	if !*skipReplicas {
+		b.Replicas = map[string][]ReplicaResult{}
+		for _, ns := range experiments.PaperSpecs() {
+			for _, lanes := range replicaLaneCounts {
+				res, err := benchReplicas(ns.Spec, lanes)
+				if err != nil {
+					fatal(fmt.Errorf("%s R=%d: %w", ns.Name, lanes, err))
+				}
+				b.Replicas[ns.Name] = append(b.Replicas[ns.Name], res)
+				fmt.Printf("replica/%-16s R=%-2d %7.0f ns/replica-cycle  scalar %7.0f  speedup %.2fx\n",
+					ns.Name, lanes, res.NsPerReplicaCycle, res.ScalarNsPerReplicaCycle, res.Speedup)
+			}
+		}
 	}
 
 	if !*skipFigures {
@@ -208,6 +250,99 @@ func benchEngine(spec experiments.NetworkSpec) (EngineResult, float64, error) {
 	}, flitsPerCycle, nil
 }
 
+// replicaLaneCounts is the amortization curve's x-axis; the cycle
+// budget matches the BenchmarkReplica* benchmarks in bench_test.go.
+var replicaLaneCounts = []int{1, 4, 8, 16}
+
+const (
+	replicaWarmup  = 2_000
+	replicaMeasure = 8_000
+)
+
+// benchReplicas measures the full per-point cost of one replicated
+// load point at the given lane count, twice: batched in a lockstep
+// ReplicaSet and as independent scalar engines. Both runs construct
+// their sources and engines inside the timed loop, because that setup
+// is part of what the batch amortizes (one shared routing table and
+// slab arena versus per-engine copies).
+func benchReplicas(spec experiments.NetworkSpec, lanes int) (ReplicaResult, error) {
+	net, err := spec.Build()
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	c := traffic.Global(net.Nodes)
+	rates, err := traffic.NodeRates(c, 0.4, traffic.PaperLengths.Mean(), nil)
+	if err != nil {
+		return ReplicaResult{}, err
+	}
+	newSource := func(seed uint64) (engine.Source, error) {
+		return traffic.NewWorkload(traffic.Config{
+			Nodes:   net.Nodes,
+			Pattern: traffic.Uniform{C: c},
+			Lengths: traffic.PaperLengths,
+			Rates:   rates,
+			Seed:    seed,
+		})
+	}
+
+	var benchErr error
+	set := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			rc := engine.ReplicaConfig{Net: net}
+			for r := 0; r < lanes; r++ {
+				seed := simrun.DeriveReplicaSeed(benchBudget.Seed, 0, r)
+				src, err := newSource(seed)
+				if err != nil {
+					benchErr = err
+					tb.Skip()
+				}
+				rc.Lanes = append(rc.Lanes, engine.LaneConfig{Source: src, Seed: seed ^ 0xd1b54a32d192ed03})
+			}
+			rs, err := engine.NewReplicaSet(rc)
+			if err != nil {
+				benchErr = err
+				tb.Skip()
+			}
+			rs.SetMeasureFrom(replicaWarmup)
+			rs.Run(replicaWarmup + replicaMeasure)
+		}
+	})
+	if benchErr != nil {
+		return ReplicaResult{}, benchErr
+	}
+	scalar := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			for r := 0; r < lanes; r++ {
+				seed := simrun.DeriveReplicaSeed(benchBudget.Seed, 0, r)
+				src, err := newSource(seed)
+				if err != nil {
+					benchErr = err
+					tb.Skip()
+				}
+				e, err := engine.New(engine.Config{Net: net, Source: src, Seed: seed ^ 0xd1b54a32d192ed03})
+				if err != nil {
+					benchErr = err
+					tb.Skip()
+				}
+				e.SetMeasureFrom(replicaWarmup)
+				e.Run(replicaWarmup + replicaMeasure)
+			}
+		}
+	})
+	if benchErr != nil {
+		return ReplicaResult{}, benchErr
+	}
+	cycles := float64(lanes) * float64(replicaWarmup+replicaMeasure)
+	setNs := float64(set.NsPerOp()) / cycles
+	scalarNs := float64(scalar.NsPerOp()) / cycles
+	return ReplicaResult{
+		Lanes:                   lanes,
+		NsPerReplicaCycle:       setNs,
+		ScalarNsPerReplicaCycle: scalarNs,
+		Speedup:                 scalarNs / setNs,
+	}, nil
+}
+
 // diffBaselines prints the per-family engine deltas (and figure
 // deltas when present in both files) between two baselines and
 // returns an error if any family's ns/cycle regressed past the
@@ -253,10 +388,55 @@ func diffBaselines(oldPath, newPath string, threshold float64) error {
 		fmt.Printf("figure/%-16s %8.2f -> %8.2f s/sweep (%+6.1f%%)\n",
 			name, o.SecPerSweep, n.SecPerSweep, (n.SecPerSweep/o.SecPerSweep-1)*100)
 	}
+	diffReplicas(oldB, newB, oldPath, newPath)
 	if len(regressions) > 0 {
 		return fmt.Errorf("performance regressed past threshold: %s", strings.Join(regressions, "; "))
 	}
 	return nil
+}
+
+// diffReplicas reports the ReplicaSet amortization deltas. The
+// section is always informational: baselines from before the batched
+// engine lack it, so a one-sided comparison prints the side that
+// exists instead of failing, and even two-sided deltas never gate
+// (the hard gate on replica performance is the bit-exactness +
+// zero-alloc test suite, not CI-runner timing noise).
+func diffReplicas(oldB, newB Baseline, oldPath, newPath string) {
+	switch {
+	case len(oldB.Replicas) == 0 && len(newB.Replicas) == 0:
+		return
+	case len(oldB.Replicas) == 0:
+		fmt.Printf("replica section only in %s (new since %s; informational)\n", newPath, oldB.Revision)
+		for _, name := range sortedKeys(newB.Replicas) {
+			for _, r := range newB.Replicas[name] {
+				fmt.Printf("replica/%-16s R=%-2d %7.0f ns/replica-cycle  scalar %7.0f  speedup %.2fx\n",
+					name, r.Lanes, r.NsPerReplicaCycle, r.ScalarNsPerReplicaCycle, r.Speedup)
+			}
+		}
+	case len(newB.Replicas) == 0:
+		fmt.Printf("replica section missing from %s (present in %s; informational)\n", newPath, oldPath)
+	default:
+		for _, name := range sortedKeys(oldB.Replicas) {
+			newRs, ok := newB.Replicas[name]
+			if !ok {
+				fmt.Printf("replica/%-16s missing from %s\n", name, newPath)
+				continue
+			}
+			byLanes := make(map[int]ReplicaResult, len(newRs))
+			for _, r := range newRs {
+				byLanes[r.Lanes] = r
+			}
+			for _, o := range oldB.Replicas[name] {
+				n, ok := byLanes[o.Lanes]
+				if !ok {
+					continue
+				}
+				fmt.Printf("replica/%-16s R=%-2d %7.0f -> %7.0f ns/replica-cycle (%+6.1f%%)  speedup %.2fx -> %.2fx\n",
+					name, o.Lanes, o.NsPerReplicaCycle, n.NsPerReplicaCycle,
+					(n.NsPerReplicaCycle/o.NsPerReplicaCycle-1)*100, o.Speedup, n.Speedup)
+			}
+		}
+	}
 }
 
 // loadBaseline reads one BENCH_<rev>.json file.

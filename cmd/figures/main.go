@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures [-id fig18a] [-list] [-csv] [-quick] [-out DIR]
-//	        [-warmup N] [-measure N] [-seed S] [-procs P]
+//	        [-warmup N] [-measure N] [-seed S] [-replicas R] [-procs P]
 //	        [-cache DIR] [-progress]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -49,6 +49,7 @@ func main() {
 		warmup   = flag.Int64("warmup", 0, "override warmup cycles")
 		measure  = flag.Int64("measure", 0, "override measurement cycles")
 		seed     = flag.Uint64("seed", 0, "override random seed")
+		replicas = flag.Int("replicas", 0, "independent replications per load point (>1 adds 95% CI error-bar columns to the CSVs)")
 		procs    = flag.Int("procs", 0, "parallel simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache", simrun.DefaultCacheDir, "content-addressed result cache directory (empty = no cache)")
 		progress = flag.Bool("progress", false, "report live plan progress on stderr")
@@ -111,6 +112,7 @@ func main() {
 		budget.Seed = *seed
 	}
 	budget.Parallelism = *procs
+	budget.Replicas = *replicas
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

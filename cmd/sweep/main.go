@@ -51,6 +51,7 @@ func main() {
 		warmup   = flag.Int64("warmup", 20000, "warmup cycles")
 		measure  = flag.Int64("measure", 60000, "measurement cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		replicas = flag.Int("replicas", 1, "independent replications per load point (>1 adds 95% CI error bars)")
 		procs    = flag.Int("procs", 0, "parallel points (0 = GOMAXPROCS)")
 		csv      = flag.Bool("csv", false, "emit CSV")
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory (empty = no cache)")
@@ -108,6 +109,7 @@ func main() {
 			WarmupCycles:  *warmup,
 			MeasureCycles: *measure,
 			Seed:          *seed,
+			Replicas:      *replicas,
 		},
 	})
 	if err := plan.Execute(ctx, opts); err != nil {
@@ -121,6 +123,15 @@ func main() {
 	}
 
 	if *csv {
+		if *replicas > 1 {
+			fmt.Println("offered,throughput,latency_cycles,latency_ms,messages,sustainable,replicas,latency_ci_lo,latency_ci_hi")
+			for _, r := range res {
+				fmt.Printf("%.4f,%.4f,%.1f,%.3f,%d,%t,%d,%.1f,%.1f\n",
+					r.Offered, r.Throughput, r.LatencyCyc, r.LatencyMs, r.Messages, r.Sustainable,
+					r.Replicas, r.LatencyCILo, r.LatencyCIHi)
+			}
+			return
+		}
 		fmt.Println("offered,throughput,latency_cycles,latency_ms,messages,sustainable")
 		for _, r := range res {
 			fmt.Printf("%.4f,%.4f,%.1f,%.3f,%d,%t\n",
@@ -129,6 +140,14 @@ func main() {
 		return
 	}
 	fmt.Printf("%s, %s/%s\n", spec, *pattern, *scope)
+	if *replicas > 1 {
+		fmt.Printf("%-10s %-12s %-14s %-22s %-12s %s\n", "offered", "throughput", "latency(cyc)", "95% CI(cyc)", "latency(ms)", "sustainable")
+		for _, r := range res {
+			fmt.Printf("%-10.3f %-12.4f %-14.1f [%8.1f, %8.1f]  %-12.3f %t\n",
+				r.Offered, r.Throughput, r.LatencyCyc, r.LatencyCILo, r.LatencyCIHi, r.LatencyMs, r.Sustainable)
+		}
+		return
+	}
 	fmt.Printf("%-10s %-12s %-14s %-12s %s\n", "offered", "throughput", "latency(cyc)", "latency(ms)", "sustainable")
 	for _, r := range res {
 		fmt.Printf("%-10.3f %-12.4f %-14.1f %-12.3f %t\n",

@@ -43,6 +43,16 @@ type Point struct {
 	StdDev          float64 // latency standard deviation, cycles
 	Messages        int64   // messages measured
 	Sustainable     bool    // no source queue exceeded the watermark
+
+	// Replication fields, populated by MergeReplicas when the point
+	// aggregates several independent runs of one load point (distinct
+	// seeds, same configuration). Replicas == 0 marks a single-run
+	// point estimate; the CI bounds then carry no information.
+	Replicas       int     // independent replications aggregated
+	LatencyCILo    float64 // 95% CI lower bound on mean latency, cycles
+	LatencyCIHi    float64 // 95% CI upper bound on mean latency, cycles
+	ThroughputCILo float64 // 95% CI lower bound on throughput
+	ThroughputCIHi float64 // 95% CI upper bound on throughput
 }
 
 // FromStats builds a Point from engine statistics.
@@ -65,6 +75,63 @@ func FromStats(offered float64, nodes int, st engine.Stats) Point {
 			p.StdDev = math.Sqrt(variance)
 		}
 	}
+	return p
+}
+
+// MergeReplicas aggregates R single-run points of one load point
+// (independent seeds, identical configuration) into a replicated
+// point: means across replicas for the load/throughput/latency
+// estimates, 95% normal-approximation confidence intervals over the
+// replica means for latency and throughput (via ConfidenceInterval,
+// treating each replication as one batch), extremes for the latency
+// min/max, and the conjunction of sustainability flags. With a single
+// input point it returns that point with Replicas set to 1 and
+// degenerate (zero-width) intervals. It panics on an empty slice.
+func MergeReplicas(points []Point) Point {
+	if len(points) == 0 {
+		panic("metrics: MergeReplicas with no points")
+	}
+	if len(points) == 1 {
+		p := points[0]
+		p.Replicas = 1
+		p.LatencyCILo, p.LatencyCIHi = p.LatencyCyc, p.LatencyCyc
+		p.ThroughputCILo, p.ThroughputCIHi = p.Throughput, p.Throughput
+		return p
+	}
+	lat := make([]float64, len(points))
+	thr := make([]float64, len(points))
+	p := Point{
+		Offered:     points[0].Offered,
+		LatencyP0:   points[0].LatencyP0,
+		Sustainable: true,
+		Replicas:    len(points),
+	}
+	for i, q := range points {
+		lat[i] = q.LatencyCyc
+		thr[i] = q.Throughput
+		p.OfferedMeasured += q.OfferedMeasured
+		p.StdDev += q.StdDev
+		p.Messages += q.Messages
+		p.Sustainable = p.Sustainable && q.Sustainable
+		if q.LatencyP0 < p.LatencyP0 {
+			p.LatencyP0 = q.LatencyP0
+		}
+		if q.LatencyP100 > p.LatencyP100 {
+			p.LatencyP100 = q.LatencyP100
+		}
+	}
+	n := float64(len(points))
+	p.OfferedMeasured /= n
+	p.StdDev /= n // mean within-run spread, not the spread of means
+	p.LatencyCILo, p.LatencyCIHi, _ = ConfidenceInterval(lat, 1.96)
+	p.ThroughputCILo, p.ThroughputCIHi, _ = ConfidenceInterval(thr, 1.96)
+	for _, v := range lat {
+		p.LatencyCyc += v / n
+	}
+	for _, v := range thr {
+		p.Throughput += v / n
+	}
+	p.LatencyMs = CyclesToMilliseconds(p.LatencyCyc)
 	return p
 }
 
@@ -164,14 +231,26 @@ type Figure struct {
 	Series []Series
 }
 
-// CSV renders the figure as comma-separated values with a header.
+// CSV renders the figure as comma-separated values with a header. The
+// trailing replication columns are the error bars: for single-run
+// points (replicas = 1) the CI bounds degenerate to the point
+// estimates themselves.
 func (f Figure) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("figure,series,offered,throughput,latency_cycles,latency_ms,latency_stddev,messages,sustainable\n")
+	sb.WriteString("figure,series,offered,throughput,latency_cycles,latency_ms,latency_stddev,messages,sustainable,replicas,latency_ci_lo,latency_ci_hi,throughput_ci_lo,throughput_ci_hi\n")
 	for _, s := range f.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&sb, "%s,%s,%.4f,%.4f,%.1f,%.3f,%.1f,%d,%t\n",
-				f.ID, s.Label, p.Offered, p.Throughput, p.LatencyCyc, p.LatencyMs, p.StdDev, p.Messages, p.Sustainable)
+			replicas := p.Replicas
+			latLo, latHi := p.LatencyCILo, p.LatencyCIHi
+			thrLo, thrHi := p.ThroughputCILo, p.ThroughputCIHi
+			if replicas == 0 { // single-run point estimate
+				replicas = 1
+				latLo, latHi = p.LatencyCyc, p.LatencyCyc
+				thrLo, thrHi = p.Throughput, p.Throughput
+			}
+			fmt.Fprintf(&sb, "%s,%s,%.4f,%.4f,%.1f,%.3f,%.1f,%d,%t,%d,%.1f,%.1f,%.4f,%.4f\n",
+				f.ID, s.Label, p.Offered, p.Throughput, p.LatencyCyc, p.LatencyMs, p.StdDev, p.Messages, p.Sustainable,
+				replicas, latLo, latHi, thrLo, thrHi)
 		}
 	}
 	return sb.String()

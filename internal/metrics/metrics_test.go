@@ -195,3 +195,65 @@ func TestRendering(t *testing.T) {
 		t.Error("Summary should note missing saturation")
 	}
 }
+
+func TestMergeReplicas(t *testing.T) {
+	mk := func(lat, thr float64, sustainable bool) Point {
+		return Point{
+			Offered: 0.4, OfferedMeasured: 0.39, Throughput: thr,
+			LatencyCyc: lat, LatencyMs: CyclesToMilliseconds(lat),
+			LatencyP0: lat - 50, LatencyP100: lat + 50,
+			StdDev: 10, Messages: 1000, Sustainable: sustainable,
+		}
+	}
+	m := MergeReplicas([]Point{mk(100, 0.30, true), mk(110, 0.32, true), mk(120, 0.34, true)})
+	if m.Replicas != 3 {
+		t.Errorf("Replicas = %d, want 3", m.Replicas)
+	}
+	if math.Abs(m.LatencyCyc-110) > 1e-9 || math.Abs(m.Throughput-0.32) > 1e-9 {
+		t.Errorf("means: latency %v throughput %v, want 110 / 0.32", m.LatencyCyc, m.Throughput)
+	}
+	if m.Messages != 3000 || !m.Sustainable {
+		t.Errorf("Messages = %d Sustainable = %t", m.Messages, m.Sustainable)
+	}
+	if m.LatencyP0 != 50 || m.LatencyP100 != 170 {
+		t.Errorf("latency extremes [%v, %v], want [50, 170]", m.LatencyP0, m.LatencyP100)
+	}
+	// The CI must bracket the mean symmetrically and agree with
+	// ConfidenceInterval over the replica means.
+	lo, hi, ok := ConfidenceInterval([]float64{100, 110, 120}, 1.96)
+	if !ok || m.LatencyCILo != lo || m.LatencyCIHi != hi {
+		t.Errorf("latency CI [%v, %v], want [%v, %v]", m.LatencyCILo, m.LatencyCIHi, lo, hi)
+	}
+	if m.LatencyCILo >= m.LatencyCyc || m.LatencyCIHi <= m.LatencyCyc {
+		t.Errorf("CI [%v, %v] does not bracket the mean %v", m.LatencyCILo, m.LatencyCIHi, m.LatencyCyc)
+	}
+
+	// One unsustainable replica poisons the merged flag.
+	if MergeReplicas([]Point{mk(100, 0.3, true), mk(100, 0.3, false)}).Sustainable {
+		t.Error("merged point sustainable despite an unsustainable replica")
+	}
+
+	// Single replica: identity with degenerate intervals.
+	one := MergeReplicas([]Point{mk(100, 0.30, true)})
+	if one.Replicas != 1 || one.LatencyCILo != 100 || one.LatencyCIHi != 100 {
+		t.Errorf("single-replica merge: %+v", one)
+	}
+
+	// The CSV carries the error-bar columns for replicated points and
+	// degenerate bounds for plain ones.
+	f := Figure{ID: "fx", Series: []Series{{Label: "s", Points: []Point{m, mk(100, 0.30, true)}}}}
+	csv := f.CSV()
+	if !strings.Contains(csv, "latency_ci_lo,latency_ci_hi,throughput_ci_lo,throughput_ci_hi") {
+		t.Errorf("CSV header lacks CI columns:\n%s", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], ",3,") {
+		t.Errorf("replicated row lacks replicas=3: %s", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",1,100.0,100.0,0.3000,0.3000") {
+		t.Errorf("single-run row lacks degenerate CI: %s", lines[2])
+	}
+}

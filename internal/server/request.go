@@ -33,6 +33,11 @@ type BudgetRequest struct {
 	Warmup  int64  `json:"warmup"`
 	Measure int64  `json:"measure"`
 	Seed    uint64 `json:"seed"`
+	// Replicas requests this many independent replications per load
+	// point (95% CI error bars in the result CSVs). 0 and 1 both mean
+	// single-run points. Each replica counts against the per-job point
+	// limit.
+	Replicas int `json:"replicas"`
 }
 
 // requestError is a client-side validation failure; handlers map it to
@@ -98,6 +103,9 @@ func parseRunRequest(data []byte, lim limits) ([]experiments.Experiment, experim
 	for _, e := range exps {
 		points += len(e.Loads) * len(e.Curves)
 	}
+	if budget.Replicas > 1 {
+		points *= budget.Replicas
+	}
 	if points > lim.maxPoints {
 		return nil, experiments.Budget{}, badRequest("job requests %d load points, limit is %d per job", points, lim.maxPoints)
 	}
@@ -128,6 +136,10 @@ func resolveBudget(br BudgetRequest, lim limits) (experiments.Budget, error) {
 	if br.Seed != 0 {
 		b.Seed = br.Seed
 	}
+	if br.Replicas < 0 {
+		return b, badRequest("negative replicas")
+	}
+	b.Replicas = br.Replicas
 	if total := b.WarmupCycles + b.MeasureCycles; total > lim.maxCycles {
 		return b, badRequest("cycle budget %d exceeds the per-point limit %d", total, lim.maxCycles)
 	}

@@ -83,3 +83,29 @@ func TestParseRunRequestCaps(t *testing.T) {
 		t.Fatalf("experiment cap not enforced: %v", err)
 	}
 }
+
+// TestParseRunRequestReplicas pins the admission accounting for
+// replicated jobs: every replica counts against the point limit, and
+// negative replica counts are rejected.
+func TestParseRunRequestReplicas(t *testing.T) {
+	body := `{"experiments":[` + tinyExperimentJSON + `],"budget":{"replicas":3}}`
+
+	lim := testLimits
+	lim.maxPoints = 5 // 2 loads x 1 curve x 3 replicas = 6 > 5
+	if _, _, err := parseRunRequest([]byte(body), lim); err == nil {
+		t.Fatal("6 replicated points admitted under a 5-point limit")
+	}
+
+	lim.maxPoints = 6
+	_, budget, err := parseRunRequest([]byte(body), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Replicas != 3 {
+		t.Fatalf("replicas not carried into the budget: %+v", budget)
+	}
+
+	if _, _, err := parseRunRequest([]byte(`{"figures":["fig16a"],"budget":{"replicas":-1}}`), testLimits); err == nil {
+		t.Fatal("negative replicas admitted")
+	}
+}

@@ -325,3 +325,67 @@ func TestMetricsCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicatedRunWarmCache drives a replicated panel (replicas > 1)
+// through the service end to end: the cold request executes
+// loads x curves x replicas points and reports CI-bearing figure
+// points; the warm repeat of the same request is served entirely from
+// the cache with consistent counters.
+func TestReplicatedRunWarmCache(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	body := `{"experiments":[` + tinyExperimentJSON + `],"budget":{"warmup":200,"measure":1000,"replicas":3}}`
+
+	resp, raw := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: code %d body %s", resp.StatusCode, raw)
+	}
+	var cold jobSnapshot
+	if err := json.Unmarshal(raw, &cold); err != nil {
+		t.Fatal(err)
+	}
+	// 2 loads x 1 curve x 3 replicas.
+	if cold.Counters.Requested != 6 || cold.Counters.Executed != 6 || cold.Counters.Cached != 0 {
+		t.Fatalf("cold replicated run counters: %+v", cold.Counters)
+	}
+	pts := cold.Figures[0].Series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("cold replicated run points: %+v", pts)
+	}
+	for i, p := range pts {
+		if p.Replicas != 3 {
+			t.Errorf("point %d: Replicas = %d, want 3", i, p.Replicas)
+		}
+		if p.LatencyCILo > p.LatencyCyc || p.LatencyCIHi < p.LatencyCyc {
+			t.Errorf("point %d: CI [%v, %v] does not bracket mean %v", i, p.LatencyCILo, p.LatencyCIHi, p.LatencyCyc)
+		}
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: code %d body %s", resp.StatusCode, raw)
+	}
+	var warm jobSnapshot
+	if err := json.Unmarshal(raw, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Counters.Executed != 0 || warm.Counters.Cached != 6 {
+		t.Fatalf("warm replicated run did not hit the cache: %+v", warm.Counters)
+	}
+	if fmt.Sprint(warm.Figures) != fmt.Sprint(cold.Figures) {
+		t.Fatal("warm replicated figures differ from cold")
+	}
+
+	// The replica-0 cache entries double as the single-run entries: a
+	// plain run of the same panel executes nothing.
+	resp, raw = postJSON(t, ts.URL+"/v1/run", `{"experiments":[`+tinyExperimentJSON+`],"budget":{"warmup":200,"measure":1000}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single run: code %d body %s", resp.StatusCode, raw)
+	}
+	var single jobSnapshot
+	if err := json.Unmarshal(raw, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Counters.Executed != 0 || single.Counters.Cached != 2 {
+		t.Fatalf("single run after replicated run should be fully cached: %+v", single.Counters)
+	}
+}

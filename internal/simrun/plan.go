@@ -55,77 +55,105 @@ func NewPlan() *Plan {
 
 // Handle addresses one requested sweep's results inside a plan. The
 // points come back in load order regardless of execution scheduling.
+// A replicated sweep (Budget.Replicas > 1) holds one group of
+// point-runs per load; Points merges each group into a single
+// mean-with-confidence-interval point.
 type Handle struct {
-	runs []*pointRun
+	groups [][]*pointRun
 }
 
 // AddSweep registers a spec-described sweep and returns its handle.
 // Points whose content hash matches an already-registered point share
 // that point's single execution (and cache entry); points that cannot
-// be hashed (exotic length distributions) run uncached.
+// be hashed (exotic length distributions) run uncached. With
+// Budget.Replicas > 1 every load point expands into that many
+// replica runs with seeds derived per (point, replica) — each replica
+// stays an ordinary single-run point-run with its own content key and
+// Store entry, so caching and dedup semantics are untouched by
+// replication; only the execution layer batches them.
 func (p *Plan) AddSweep(s SweepSpec) *Handle {
-	h := &Handle{runs: make([]*pointRun, len(s.Loads))}
+	reps := s.Budget.Replicas
+	if reps < 1 {
+		reps = 1
+	}
+	h := &Handle{groups: make([][]*pointRun, len(s.Loads))}
 	for i, load := range s.Loads {
-		rs := RunSpec{
-			Net:         s.Net,
-			Work:        s.Work,
-			Load:        load,
-			Warmup:      s.Budget.WarmupCycles,
-			Measure:     s.Budget.MeasureCycles,
-			Seed:        DeriveSeed(s.Budget.Seed, i),
-			QueueLimit:  s.Budget.QueueLimit,
-			BufferDepth: s.BufferDepth,
-			Arbitration: s.Arbitration,
-		}
-		p.requested++
-		key, err := rs.Key()
-		if err == nil {
-			if existing, ok := p.index[key]; ok {
-				h.runs[i] = existing
-				continue
+		group := make([]*pointRun, reps)
+		for rep := 0; rep < reps; rep++ {
+			rs := RunSpec{
+				Net:         s.Net,
+				Work:        s.Work,
+				Load:        load,
+				Warmup:      s.Budget.WarmupCycles,
+				Measure:     s.Budget.MeasureCycles,
+				Seed:        DeriveReplicaSeed(s.Budget.Seed, i, rep),
+				QueueLimit:  s.Budget.QueueLimit,
+				BufferDepth: s.BufferDepth,
+				Arbitration: s.Arbitration,
 			}
-		} else {
-			key = "" // uncacheable: unique run, no dedup, no store
+			p.requested++
+			key, err := rs.Key()
+			if err == nil {
+				if existing, ok := p.index[key]; ok {
+					group[rep] = existing
+					continue
+				}
+			} else {
+				key = "" // uncacheable: unique run, no dedup, no store
+			}
+			r := &pointRun{key: key, spec: rs}
+			p.runs = append(p.runs, r)
+			if key != "" {
+				p.index[key] = r
+			}
+			group[rep] = r
 		}
-		r := &pointRun{key: key, spec: rs}
-		p.runs = append(p.runs, r)
-		if key != "" {
-			p.index[key] = r
-		}
-		h.runs[i] = r
+		h.groups[i] = group
 	}
 	return h
 }
 
 // AddFunc registers n opaque points executed by fn(i). Opaque points
-// cannot be hashed, deduplicated or cached — they exist so ad-hoc
-// callers (arbitrary networks and source factories) still share the
-// plan's worker pool, cancellation and progress accounting.
+// cannot be hashed, deduplicated, cached or batched — they exist so
+// ad-hoc callers (arbitrary networks and source factories) still share
+// the plan's worker pool, cancellation and progress accounting.
 func (p *Plan) AddFunc(n int, fn func(i int) (metrics.Point, error)) *Handle {
-	h := &Handle{runs: make([]*pointRun, n)}
+	h := &Handle{groups: make([][]*pointRun, n)}
 	for i := 0; i < n; i++ {
 		i := i
 		r := &pointRun{fn: func() (metrics.Point, error) { return fn(i) }}
 		p.runs = append(p.runs, r)
 		p.requested++
-		h.runs[i] = r
+		h.groups[i] = []*pointRun{r}
 	}
 	return h
 }
 
-// Points assembles the sweep's results in load order. It returns the
-// first point error, or an error if the plan was cancelled before
-// every point of this sweep completed.
+// Points assembles the sweep's results in load order, merging the
+// replicas of each load point (mean + confidence interval) when the
+// sweep was replicated. It returns the first point error, or an error
+// if the plan was cancelled before every point of this sweep
+// completed.
 func (h *Handle) Points() ([]metrics.Point, error) {
-	out := make([]metrics.Point, len(h.runs))
-	for i, r := range h.runs {
-		if r.err != nil {
-			return nil, r.err
+	out := make([]metrics.Point, len(h.groups))
+	for i, group := range h.groups {
+		for _, r := range group {
+			if r.err != nil {
+				return nil, r.err
+			}
+			if !r.done {
+				return nil, fmt.Errorf("simrun: point %d not executed (plan cancelled or Execute not called)", i)
+			}
 		}
-		if !r.done {
-			return nil, fmt.Errorf("simrun: point %d not executed (plan cancelled or Execute not called)", i)
+		if len(group) == 1 {
+			out[i] = group[0].pt // single-run point estimate, unchanged
+			continue
 		}
-		out[i] = r.pt
+		pts := make([]metrics.Point, len(group))
+		for r := range group {
+			pts[r] = group[r].pt
+		}
+		out[i] = metrics.MergeReplicas(pts)
 	}
 	return out, nil
 }
@@ -224,45 +252,46 @@ func (p *Plan) Execute(ctx context.Context, opts Options) error {
 		workers = len(pending)
 	}
 
+	// Same-topology spec points batch into lockstep ReplicaSets (see
+	// replica.go); opaque and odd-one-out points run scalar. Either
+	// way a unit is the scheduling granule of the worker pool.
+	units := batchUnits(pending, workers)
+
 	nets := &netCache{m: map[NetworkSpec]*topology.Network{}}
-	work := make(chan *pointRun)
+	work := make(chan []*pointRun)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for r := range work {
+			for unit := range work {
 				if ctx.Err() != nil {
 					continue // drain without simulating
 				}
-				p.bump(func(c *Counters) { c.Running++ }, opts.Progress)
-				if r.fn != nil {
-					r.pt, r.err = r.fn()
-				} else {
-					r.pt, r.err = r.spec.run(nets)
+				p.bump(func(c *Counters) { c.Running += len(unit) }, opts.Progress)
+				executeUnit(ctx, unit, nets)
+				failed := 0
+				for _, r := range unit {
+					r.done = r.err == nil
 					if r.err != nil {
-						r.err = fmt.Errorf("simrun: %s: %w", r.spec, r.err)
+						failed++
+					} else if opts.Store != nil && r.key != "" {
+						opts.Store.Put(r.key, r.spec.String(), r.pt)
 					}
-				}
-				r.done = r.err == nil
-				if r.done && opts.Store != nil && r.key != "" {
-					opts.Store.Put(r.key, r.spec.String(), r.pt)
 				}
 				p.bump(func(c *Counters) {
-					c.Running--
-					c.Executed++
-					c.Done++
-					if r.err != nil {
-						c.Failed++
-					}
+					c.Running -= len(unit)
+					c.Executed += len(unit)
+					c.Done += len(unit)
+					c.Failed += failed
 				}, opts.Progress)
 			}
 		}()
 	}
 feed:
-	for _, r := range pending {
+	for _, u := range units {
 		select {
-		case work <- r:
+		case work <- u:
 		case <-ctx.Done():
 			break feed
 		}
@@ -270,6 +299,27 @@ feed:
 	close(work)
 	wg.Wait()
 	return ctx.Err()
+}
+
+// executeUnit simulates one scheduling unit: a single point runs on a
+// scalar engine exactly as before (non-preemptible, as always); a
+// batch runs all its points in lockstep on one ReplicaSet (bit-exact
+// with the scalar path), checking ctx between lockstep chunks so a
+// wide batch cannot stretch cancellation latency.
+func executeUnit(ctx context.Context, unit []*pointRun, nets *netCache) {
+	if len(unit) == 1 {
+		r := unit[0]
+		if r.fn != nil {
+			r.pt, r.err = r.fn()
+			return
+		}
+		r.pt, r.err = r.spec.run(nets)
+		if r.err != nil {
+			r.err = fmt.Errorf("simrun: %s: %w", r.spec, r.err)
+		}
+		return
+	}
+	runBatch(ctx, unit, nets)
 }
 
 // bump applies a counter update and emits a progress snapshot, both

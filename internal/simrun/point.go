@@ -16,6 +16,16 @@ func DeriveSeed(base uint64, i int) uint64 {
 	return base*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
 }
 
+// DeriveReplicaSeed extends DeriveSeed to replicated points: replica r
+// of point i gets its own seed stream. Replica 0 is DeriveSeed(base, i)
+// exactly, so single-run sweeps and their cache entries are the r = 0
+// slice of replicated ones — turning replication on does not
+// invalidate (or even re-run) the points a previous single-run sweep
+// already computed.
+func DeriveReplicaSeed(base uint64, i, r int) uint64 {
+	return DeriveSeed(base, i) + uint64(r)*0x94d049bb133111eb
+}
+
 // PointConfig fully determines one simulation point over an
 // already-built network. Seed is the point's final derived seed (see
 // DeriveSeed), not a sweep base seed.

@@ -271,4 +271,12 @@ type Budget struct {
 	Seed          uint64
 	QueueLimit    int
 	Parallelism   int
+	// Replicas asks for this many independent replications (distinct
+	// derived seeds, see DeriveReplicaSeed) of every load point; the
+	// sweep's results then report per-point means with confidence
+	// intervals (metrics.MergeReplicas). 0 or 1 means a single run per
+	// point, the pre-replication behavior. Replications of one load
+	// point — and same-topology points generally — execute batched in
+	// one lockstep engine.ReplicaSet; results are bit-exact either way.
+	Replicas int
 }

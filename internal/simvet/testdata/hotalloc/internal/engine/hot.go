@@ -27,7 +27,7 @@ func (e *Engine) Step() {
 // helper is reachable from Step, so every allocating construct in it
 // must be flagged.
 func (e *Engine) helper() {
-	_ = fmt.Sprintf("n=%d", e.n) // want `fmt.Sprintf in hot-path function helper`
+	_ = fmt.Sprintf("n=%d", e.n)   // want `fmt.Sprintf in hot-path function helper`
 	f := func() int { return e.n } // want `closure literal in hot-path function helper`
 	_ = f
 	buf := make([]int, 8) // want `make in hot-path function helper`
@@ -69,6 +69,40 @@ func (t *Table) Lookup(i int) []int32 {
 	return t.arena[t.off[i]:t.off[i+1]] // index into shared arena, accepted
 }
 
+// Slabs mirrors the batched-replica SoA layout: one contiguous
+// backing array shared by all lanes, with per-lane windows carved by
+// three-index slicing at construction time.
+type Slabs struct {
+	perLane int
+	cnt     []uint8
+	scratch []uint8
+}
+
+// lane carves lane i's window out of the shared slab — pure
+// reslicing, so the lockstep hot path may call it every leg.
+func (s *Slabs) lane(i int) []uint8 {
+	lo, hi := i*s.perLane, (i+1)*s.perLane
+	return s.cnt[lo:hi:hi]
+}
+
+// StepLanes is the lockstep per-cycle root: indexing and writing
+// through slab windows is clean; materializing a fresh copy of a
+// window is a per-cycle allocation and must be flagged.
+//
+//simvet:hotpath
+func (s *Slabs) StepLanes(lanes int) {
+	for i := 0; i < lanes; i++ {
+		w := s.lane(i) // slab window, accepted
+		for j := range w {
+			w[j]++ // in-place writes through the window, accepted
+		}
+		s.scratch = append(s.scratch[:0], w...) // pooled scratch reuse, accepted
+		fresh := make([]uint8, s.perLane)       // want `make in hot-path function StepLanes`
+		copy(fresh, w)
+		_ = fresh
+	}
+}
+
 // tab is package state so route needs no parameters.
 var tab = &Table{off: []int32{0, 0}, arena: nil}
 
@@ -79,7 +113,7 @@ func (e *Engine) route() {
 	for _, c := range tab.Lookup(0) {
 		e.order = append(e.order, int(c)) // pooled append of arena-sourced values, accepted
 	}
-	span := tab.Lookup(0)               // arena view in a local, accepted
+	span := tab.Lookup(0) // arena view in a local, accepted
 	_ = span
 	grown := append(tab.Lookup(0), 1) // want `append onto a fresh slice in hot-path function route`
 	_ = grown

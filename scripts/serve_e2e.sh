@@ -50,6 +50,25 @@ warm=$(curl -fsS -X POST "$BASE/v1/run" -d "$PANEL")
 echo "$warm" | grep -o '"counters":{[^}]*}'
 echo "$warm" | grep -q '"executed":0' || { echo "warm run re-executed points"; exit 1; }
 
+# A replicated panel (replicas > 1) must flow end to end: the cold run
+# executes only the non-replica-0 points (replica 0 shares the plain
+# panel's cache entries, which the quick run above already wrote), the
+# points carry replica counts, and the warm repeat is fully cached.
+RPANEL='{"figures":["fig16a"],"budget":{"preset":"quick","replicas":2}}'
+
+echo "== replicated cold run (replica 0 cached, replica 1 executes)"
+rcold=$(curl -fsS -X POST "$BASE/v1/run" -d "$RPANEL")
+echo "$rcold" | grep -o '"counters":{[^}]*}'
+echo "$rcold" | grep -q '"status":"done"' || { echo "replicated run not done"; exit 1; }
+echo "$rcold" | grep -q '"executed":[1-9]' || { echo "replicated run executed nothing"; exit 1; }
+echo "$rcold" | grep -q '"cached":[1-9]' || { echo "replicated run reused no replica-0 entries"; exit 1; }
+echo "$rcold" | grep -q '"Replicas":2' || { echo "replicated points lack replica counts"; exit 1; }
+
+echo "== replicated warm run (must execute 0 points)"
+rwarm=$(curl -fsS -X POST "$BASE/v1/run" -d "$RPANEL")
+echo "$rwarm" | grep -o '"counters":{[^}]*}'
+echo "$rwarm" | grep -q '"executed":0' || { echo "replicated warm run re-executed points"; exit 1; }
+
 # A slow job (3M cycles/point on a small net) pins the single worker
 # so the depth-1 queue can be saturated deterministically.
 SLOW='{"experiments":[{"id":"slow","loads":[0.1,0.2],"curves":[{"label":"t","network":{"kind":"tmin","k":4,"stages":2},"workload":{"pattern":"uniform"}}]}],"budget":{"warmup":200,"measure":3000000}}'
