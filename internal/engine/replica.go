@@ -150,9 +150,12 @@ func (rs *ReplicaSet) Step() {
 // shared clock loop: lanes proceed in lockstep legs of at most
 // runQuantum cycles, each leg skipping a lane's provably idle
 // stretches exactly like the scalar Run. After Run returns, every
-// lane's clock equals the shared clock.
+// lane's clock equals the shared clock. Compute is proportional to
+// cycles x lanes with no internal cancellation point; callers chunk
+// (cancelQuantum legs).
 //
 //simvet:hotpath
+//simvet:blocking — compute proportional to cycles x lanes, no cancellation point
 func (rs *ReplicaSet) Run(cycles int64) {
 	target := rs.now + cycles
 	for rs.now < target {

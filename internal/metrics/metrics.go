@@ -28,7 +28,12 @@ func MillisecondsToCycles(ms float64) float64 {
 	return ms * FlitsPerMillisecond
 }
 
-// Point is one measurement of a latency/throughput curve.
+// Point is one measurement of a latency/throughput curve. It is
+// serialized (default field names) into cache-store entries and simd
+// job results; renaming a field orphans every cached result and
+// breaks API consumers.
+//
+//simvet:wire
 type Point struct {
 	Offered float64 // nominal offered load, flits/node/cycle
 	// OfferedMeasured is the load the sources actually generated in
@@ -135,7 +140,10 @@ func MergeReplicas(points []Point) Point {
 	return p
 }
 
-// Series is a labeled curve (one network under one workload).
+// Series is a labeled curve (one network under one workload),
+// serialized (default field names) inside simd job results.
+//
+//simvet:wire
 type Series struct {
 	Label  string
 	Points []Point
@@ -224,12 +232,21 @@ func ConfidenceInterval(batchMeans []float64, z float64) (lo, hi float64, ok boo
 	return mean - half, mean + half, true
 }
 
-// Figure is a set of series reproducing one paper figure panel.
+// Figure is a set of series reproducing one paper figure panel,
+// serialized (default field names) inside simd job results.
+//
+//simvet:wire
 type Figure struct {
 	ID     string // e.g. "fig18a"
 	Title  string
 	Series []Series
 }
+
+// csvHeader is the column contract of every CSV the figure harness
+// emits; downstream plotting scripts select columns by these names.
+//
+//simvet:wire
+const csvHeader = "figure,series,offered,throughput,latency_cycles,latency_ms,latency_stddev,messages,sustainable,replicas,latency_ci_lo,latency_ci_hi,throughput_ci_lo,throughput_ci_hi\n"
 
 // CSV renders the figure as comma-separated values with a header. The
 // trailing replication columns are the error bars: for single-run
@@ -237,7 +254,7 @@ type Figure struct {
 // estimates themselves.
 func (f Figure) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("figure,series,offered,throughput,latency_cycles,latency_ms,latency_stddev,messages,sustainable,replicas,latency_ci_lo,latency_ci_hi,throughput_ci_lo,throughput_ci_hi\n")
+	sb.WriteString(csvHeader)
 	for _, s := range f.Series {
 		for _, p := range s.Points {
 			replicas := p.Replicas

@@ -53,6 +53,8 @@ type job struct {
 
 // jobSnapshot is the externally visible state of a job, safe to
 // marshal after the job mutex is released.
+//
+//simvet:wire — the body of every job status/result response.
 type jobSnapshot struct {
 	ID         string           `json:"id"`
 	Status     string           `json:"status"`
@@ -314,6 +316,8 @@ func (m *manager) worker() {
 // service-wide store. Cache entries are flushed point by point, so
 // even a job cut off by timeout or shutdown keeps everything it
 // completed.
+//
+//simvet:ctxbound
 func (m *manager) run(j *job) {
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
@@ -326,6 +330,7 @@ func (m *manager) run(j *job) {
 
 	plan := simrun.NewPlan()
 	handles := make([]*experiments.FigureHandle, len(j.exps))
+	//simvet:bounded — plan assembly over at most MaxExperiments admission-capped experiments
 	for i, e := range j.exps {
 		handles[i] = experiments.AddToPlan(plan, e, j.budget)
 	}
@@ -365,6 +370,8 @@ func (m *manager) record(j *job) {
 // running jobs the drain window to finish before cutting their
 // contexts. It returns once every worker has exited; by then every
 // completed point is flushed to the store.
+//
+//simvet:ctxbound
 func (m *manager) shutdown(ctx context.Context) {
 	if !m.draining.CompareAndSwap(false, true) {
 		m.wg.Wait()
@@ -372,6 +379,7 @@ func (m *manager) shutdown(ctx context.Context) {
 	}
 	close(m.quit)
 	// Drain the queue: anything a worker has not picked up is canceled.
+	//simvet:bounded — the non-blocking default exits after at most QueueDepth queued jobs
 	for {
 		select {
 		case j := <-m.queue:

@@ -176,8 +176,57 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // errorBody is the JSON shape of every non-2xx response.
+//
+//simvet:wire
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// submitResponse is the 202 body of POST /v1/jobs.
+//
+//simvet:wire
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	URL    string `json:"url"`
+}
+
+// jobListResponse is the body of GET /v1/jobs.
+//
+//simvet:wire
+type jobListResponse struct {
+	Jobs []jobSnapshot `json:"jobs"`
+}
+
+// figureInfo is one experiment id/title pair in GET /v1/figures.
+//
+//simvet:wire
+type figureInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// figuresResponse is the body of GET /v1/figures.
+//
+//simvet:wire
+type figuresResponse struct {
+	Figures []figureInfo `json:"figures"`
+}
+
+// healthResponse is the 200 body of GET /healthz.
+//
+//simvet:wire
+type healthResponse struct {
+	Status string `json:"status"`
+	Queue  int    `json:"queue_depth"`
+}
+
+// drainResponse is the 503 body of GET /healthz during shutdown; it
+// deliberately omits queue_depth, matching the pre-drain contract.
+//
+//simvet:wire
+type drainResponse struct {
+	Status string `json:"status"`
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -271,17 +320,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	writeJSON(w, http.StatusAccepted, struct {
-		ID     string `json:"id"`
-		Status string `json:"status"`
-		URL    string `json:"url"`
-	}{j.id, statusQueued, "/v1/jobs/" + j.id})
+	writeJSON(w, http.StatusAccepted, submitResponse{j.id, statusQueued, "/v1/jobs/" + j.id})
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Jobs []jobSnapshot `json:"jobs"`
-	}{s.mgr.list()})
+	writeJSON(w, http.StatusOK, jobListResponse{s.mgr.list()})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -319,31 +362,20 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
-	type fig struct {
-		ID    string `json:"id"`
-		Title string `json:"title"`
-	}
 	all := append(experiments.Figures(), experiments.Extensions()...)
-	out := make([]fig, len(all))
+	out := make([]figureInfo, len(all))
 	for i, e := range all {
-		out[i] = fig{e.ID, e.Title}
+		out[i] = figureInfo{e.ID, e.Title}
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Figures []fig `json:"figures"`
-	}{out})
+	writeJSON(w, http.StatusOK, figuresResponse{out})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, struct {
-			Status string `json:"status"`
-		}{"draining"})
+		writeJSON(w, http.StatusServiceUnavailable, drainResponse{"draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Queue  int    `json:"queue_depth"`
-	}{"ok", s.mgr.queueDepth()})
+	writeJSON(w, http.StatusOK, healthResponse{"ok", s.mgr.queueDepth()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

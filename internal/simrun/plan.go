@@ -77,8 +77,10 @@ func (p *Plan) AddSweep(s SweepSpec) *Handle {
 		reps = 1
 	}
 	h := &Handle{groups: make([][]*pointRun, len(s.Loads))}
+	//simvet:bounded — plan assembly over the requested load list; Key's one-time fingerprint costs milliseconds
 	for i, load := range s.Loads {
 		group := make([]*pointRun, reps)
+		//simvet:bounded — replicas per load point, admission-capped
 		for rep := 0; rep < reps; rep++ {
 			rs := RunSpec{
 				Net:         s.Net,
@@ -161,6 +163,8 @@ func (h *Handle) Points() ([]metrics.Point, error) {
 // Counters snapshots plan progress for observability. The JSON tags
 // are the wire format of the simd service's progress snapshots
 // (internal/server), so renaming them is an API change.
+//
+//simvet:wire
 type Counters struct {
 	Requested int `json:"requested"` // points requested across all sweeps, duplicates included
 	Unique    int `json:"unique"`    // deduplicated point-runs the plan will actually execute or fetch
@@ -222,6 +226,8 @@ func (c *netCache) get(spec NetworkSpec) (*topology.Network, error) {
 // through Handles; Execute itself only fails on context cancellation,
 // in which case completed cache entries have already been flushed and
 // a re-Execute (same plan or a rebuilt one) resumes where it stopped.
+//
+//simvet:ctxbound
 func (p *Plan) Execute(ctx context.Context, opts Options) error {
 	p.mu.Lock()
 	p.counters = Counters{Requested: p.requested, Unique: len(p.runs)}
@@ -229,6 +235,12 @@ func (p *Plan) Execute(ctx context.Context, opts Options) error {
 
 	var pending []*pointRun
 	for _, r := range p.runs {
+		// The scan hits the store's disk once per hashable point; on a
+		// large cold plan that is the longest pre-worker stretch, so it
+		// honors cancellation too.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if r.done {
 			// Re-execution after a cancelled run: keep prior results.
 			p.bump(func(c *Counters) { c.Done++ }, opts.Progress)
@@ -271,6 +283,7 @@ func (p *Plan) Execute(ctx context.Context, opts Options) error {
 				p.bump(func(c *Counters) { c.Running += len(unit) }, opts.Progress)
 				executeUnit(ctx, unit, nets)
 				failed := 0
+				//simvet:bounded — one small atomic cache write per point of a lane-capped unit
 				for _, r := range unit {
 					r.done = r.err == nil
 					if r.err != nil {
@@ -301,11 +314,12 @@ feed:
 	return ctx.Err()
 }
 
-// executeUnit simulates one scheduling unit: a single point runs on a
-// scalar engine exactly as before (non-preemptible, as always); a
-// batch runs all its points in lockstep on one ReplicaSet (bit-exact
-// with the scalar path), checking ctx between lockstep chunks so a
-// wide batch cannot stretch cancellation latency.
+// executeUnit simulates one scheduling unit: a single spec point runs
+// on a scalar engine in cancelQuantum legs (see PointConfig.simulate);
+// a batch runs all its points in lockstep on one ReplicaSet (bit-exact
+// with the scalar path), checking ctx between lockstep chunks. Either
+// way cancellation latency is bounded by one quantum, not a run.
+// Opaque fn points remain non-preemptible: there is no spec to chunk.
 func executeUnit(ctx context.Context, unit []*pointRun, nets *netCache) {
 	if len(unit) == 1 {
 		r := unit[0]
@@ -313,7 +327,7 @@ func executeUnit(ctx context.Context, unit []*pointRun, nets *netCache) {
 			r.pt, r.err = r.fn()
 			return
 		}
-		r.pt, r.err = r.spec.run(nets)
+		r.pt, r.err = r.spec.run(ctx, nets)
 		if r.err != nil {
 			r.err = fmt.Errorf("simrun: %s: %w", r.spec, r.err)
 		}

@@ -1,6 +1,8 @@
 package simrun
 
 import (
+	"context"
+
 	"minsim/internal/engine"
 	"minsim/internal/metrics"
 	"minsim/internal/topology"
@@ -46,6 +48,16 @@ type PointConfig struct {
 // spec-described (cacheable) and the ad-hoc execution paths; results
 // are bit-exact functions of the config.
 func (c PointConfig) Simulate() (metrics.Point, error) {
+	return c.simulate(context.Background())
+}
+
+// simulate runs the point in cancelQuantum legs, observing ctx between
+// legs — the same chunking as the batched path (runBatch), so a scalar
+// point no longer makes the plan executor non-preemptible for a whole
+// warmup+measure run. Chunked Run legs are bit-exact with one full Run
+// (idle-skip credits are additive; idle cycles draw no randomness), so
+// cached results are unaffected.
+func (c PointConfig) simulate(ctx context.Context) (metrics.Point, error) {
 	src, err := c.Factory(c.Load, c.Seed)
 	if err != nil {
 		return metrics.Point{}, err
@@ -62,6 +74,16 @@ func (c PointConfig) Simulate() (metrics.Point, error) {
 		return metrics.Point{}, err
 	}
 	e.SetMeasureFrom(c.Warmup)
-	e.Run(c.Warmup + c.Measure)
+	for left := c.Warmup + c.Measure; left > 0; {
+		if err := ctx.Err(); err != nil {
+			return metrics.Point{}, err
+		}
+		leg := int64(cancelQuantum)
+		if left < leg {
+			leg = left
+		}
+		e.Run(leg)
+		left -= leg
+	}
 	return metrics.FromStats(c.Load, c.Net.Nodes, e.Stats()), nil
 }

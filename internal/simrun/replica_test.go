@@ -65,7 +65,7 @@ func TestReplicatedSweep(t *testing.T) {
 	for i, load := range loads {
 		pts := make([]metrics.Point, reps)
 		for rep := 0; rep < reps; rep++ {
-			pt, err := tinySpec(load, DeriveReplicaSeed(7, i, rep)).run(nets)
+			pt, err := tinySpec(load, DeriveReplicaSeed(7, i, rep)).run(context.Background(), nets)
 			if err != nil {
 				t.Fatal(err)
 			}

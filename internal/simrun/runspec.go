@@ -1,11 +1,13 @@
 package simrun
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"math"
+	"reflect"
 	"sync"
 
 	"minsim/internal/engine"
@@ -47,6 +49,8 @@ func (r RunSpec) String() string {
 // changes the fingerprint and thereby invalidates every prior key.
 // An error means the spec is not canonically encodable (e.g. a
 // user-supplied LengthDist implementation) and must run uncached.
+//
+//simvet:keypath
 func (r RunSpec) Key() (string, error) {
 	fp, err := Fingerprint()
 	if err != nil {
@@ -102,8 +106,11 @@ func hashLengths(h io.Writer, d traffic.LengthDist) error {
 	return nil
 }
 
-// run executes the spec, sharing built networks through nc.
-func (r RunSpec) run(nc *netCache) (metrics.Point, error) {
+// run executes the spec, sharing built networks through nc. The
+// simulation advances in cancelQuantum legs, observing ctx between
+// legs, so a scalar point bounds cancellation latency exactly like a
+// batched one (chunked legs are bit-exact with a single full run).
+func (r RunSpec) run(ctx context.Context, nc *netCache) (metrics.Point, error) {
 	net, err := nc.get(r.Net)
 	if err != nil {
 		return metrics.Point{}, err
@@ -118,7 +125,7 @@ func (r RunSpec) run(nc *netCache) (metrics.Point, error) {
 		QueueLimit:  r.QueueLimit,
 		BufferDepth: r.BufferDepth,
 		Arbitration: r.Arbitration,
-	}.Simulate()
+	}.simulate(ctx)
 }
 
 var fingerprintOnce sync.Once
@@ -168,9 +175,11 @@ func fingerprintProbes() []RunSpec {
 	}
 }
 
+//simvet:keypath
 func computeFingerprint() (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "minsim-fingerprint-v%d\n", specSchemaVersion)
+	//simvet:bounded — two fixed 16-node probes, about a millisecond once per process
 	for i, probe := range fingerprintProbes() {
 		net, err := probe.Net.Build()
 		if err != nil {
@@ -195,7 +204,41 @@ func computeFingerprint() (string, error) {
 		// The full Stats struct (not just the curve point) so that
 		// semantics visible only in auxiliary counters still shift
 		// the fingerprint.
-		fmt.Fprintf(h, "probe %d %+v\n", i, e.Stats())
+		fmt.Fprintf(h, "probe %d ", i)
+		if err := hashStats(h, e.Stats()); err != nil {
+			return "", fmt.Errorf("simrun: fingerprint probe %d: %w", i, err)
+		}
+		fmt.Fprintln(h)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// hashStats writes a canonical encoding of the engine statistics:
+// field names in declaration order, integers in decimal, floats by
+// IEEE-754 bit pattern. The previous %+v encoding rendered floats with
+// default formatting — not a stable key encoding — which keypurity now
+// forbids on the fingerprint path. Reflection keeps future Stats
+// fields automatically fingerprinted: adding one changes the encoding,
+// which invalidates the cache, which is the safe direction; a field of
+// an unsupported kind is a loud error rather than a silent skip.
+func hashStats(w io.Writer, s engine.Stats) error {
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		name := t.Field(i).Name
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fmt.Fprintf(w, "%s=%d ", name, f.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fmt.Fprintf(w, "%s=%d ", name, f.Uint())
+		case reflect.Float32, reflect.Float64:
+			fmt.Fprintf(w, "%s=%x ", name, math.Float64bits(f.Float()))
+		case reflect.Bool:
+			fmt.Fprintf(w, "%s=%t ", name, f.Bool())
+		default:
+			return fmt.Errorf("simrun: engine.Stats field %s has kind %s with no canonical encoding; extend hashStats", name, f.Kind())
+		}
+	}
+	return nil
 }

@@ -29,6 +29,8 @@ type Store struct {
 // storeEntry is the file layout of one cached result. Key is repeated
 // inside the file so a copied or renamed entry cannot masquerade as a
 // different spec's result.
+//
+//simvet:wire — entries written by one binary are read by later ones.
 type storeEntry struct {
 	Key   string        `json:"key"`
 	Spec  string        `json:"spec"` // human-readable, for cache spelunking
@@ -106,6 +108,8 @@ func (s *Store) WriteFailures() int64 { return s.writeFails.Load() }
 // StoreStats is a snapshot of a store's lookup and persistence
 // counters, accumulated across every plan execution sharing the store
 // (the simd service exports these on /metrics).
+//
+//simvet:wire — serialized into simd job snapshots.
 type StoreStats struct {
 	Hits       int64 `json:"hits"`        // Get calls served from disk
 	Misses     int64 `json:"misses"`      // Get calls that fell through to simulation

@@ -9,13 +9,21 @@ package simvet
 
 import (
 	"go/ast"
+	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
 // wantRe extracts the expected-diagnostic pattern from a comment.
 var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// lockWantRe extracts an expected-diagnostic pattern from a fixture's
+// docs/wire.lock. A lock entry cannot carry a trailing comment (the
+// parser would read it as schema), so a `# want` line binds to the
+// line directly below it.
+var lockWantRe = regexp.MustCompile("^# want `([^`]+)`")
 
 type wantKey struct {
 	file string
@@ -45,6 +53,10 @@ func runFixture(t *testing.T, fixture string, analyzers ...*Analyzer) {
 			collectWants(t, mod, f.Comments, wants)
 		}
 	}
+	// Wirestable's Finish hook anchors lock-only diagnostics at lines of
+	// the lock file itself; the same path construction keeps the keys
+	// comparable.
+	collectLockWants(t, filepath.Join(mod.Dir, filepath.FromSlash(WireLockFile)), wants)
 
 	for _, d := range diags {
 		k := wantKey{file: d.Pos.Filename, line: d.Pos.Line}
@@ -82,5 +94,26 @@ func collectWants(t *testing.T, mod *Module, comments []*ast.CommentGroup, wants
 			pos := mod.Fset.Position(c.Slash)
 			wants[wantKey{file: pos.Filename, line: pos.Line}] = re
 		}
+	}
+}
+
+// collectLockWants records the `# want` patterns of a fixture's wire
+// lock, if it has one; each binds to the next line.
+func collectLockWants(t *testing.T, path string, wants map[wantKey]*regexp.Regexp) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // fixture without a lock file
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := lockWantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("bad want pattern %q in %s: %v", m[1], path, err)
+		}
+		wants[wantKey{file: path, line: i + 2}] = re
 	}
 }

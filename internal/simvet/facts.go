@@ -1,0 +1,101 @@
+package simvet
+
+import (
+	"sort"
+
+	"go/types"
+)
+
+// A Fact is an analyzer-defined statement about a package-level object
+// (usually a *types.Func or *types.TypeName), exported by the pass
+// that analyzes the object's package and imported by passes over the
+// packages that depend on it. This is the cross-package dataflow
+// mechanism of the suite: a bottom-up summary ("this function blocks",
+// "this function's output depends on process state", "this type has
+// this wire schema") computed once where the code lives and consumed
+// at every call or reference site, exactly like go/analysis object
+// facts minus the serialization — the whole module shares one
+// type-checking universe (see load.go), so facts are plain in-memory
+// values keyed by object identity.
+//
+// Facts are namespaced per analyzer: one analyzer never sees
+// another's. RunAnalyzers guarantees that when a pass runs, the passes
+// for every module-local package it imports have already run (packages
+// are visited in dependency order), so ImportFact on an object from an
+// imported package observes the final summary.
+type Fact any
+
+// factKey namespaces facts by analyzer so independent analyzers can
+// attach summaries to the same object.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// ExportFact records a fact about obj for this pass's analyzer,
+// overwriting any previous fact. obj is normally declared in the
+// package under analysis; exporting is idempotent so repeated runs
+// over one Module (tests, the -writewire path) stay consistent.
+func (p *Pass) ExportFact(obj types.Object, f Fact) {
+	if p.Module.facts == nil {
+		p.Module.facts = make(map[factKey]Fact)
+	}
+	p.Module.facts[factKey{p.Analyzer.Name, obj}] = f
+}
+
+// ImportFact returns the fact this pass's analyzer exported about obj,
+// if any. Objects with no recorded fact — including every object of
+// the standard library, which is outside the analysis boundary —
+// return ok = false.
+func (p *Pass) ImportFact(obj types.Object) (Fact, bool) {
+	f, ok := p.Module.facts[factKey{p.Analyzer.Name, obj}]
+	return f, ok
+}
+
+// AllFacts returns every (object, fact) pair this pass's analyzer has
+// exported across the whole module, for Finish hooks that assemble a
+// module-wide view. The map is freshly built; mutating it does not
+// affect the store.
+func (p *Pass) AllFacts() map[types.Object]Fact {
+	out := make(map[types.Object]Fact)
+	for k, f := range p.Module.facts {
+		if k.analyzer == p.Analyzer.Name {
+			out[k.obj] = f
+		}
+	}
+	return out
+}
+
+// PackagesInDependencyOrder returns the module's packages such that
+// every package appears after all module-local packages it imports.
+// The order is deterministic: ties are broken by import path. The
+// module's import graph is acyclic (the type checker would have
+// rejected a cycle), so the traversal terminates.
+func (m *Module) PackagesInDependencyOrder() []*Package {
+	order := make([]*Package, 0, len(m.Packages))
+	seen := make(map[*Package]bool, len(m.Packages))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if p.Types != nil {
+			deps := make([]string, 0, len(p.Types.Imports()))
+			for _, imp := range p.Types.Imports() {
+				if m.byPath[imp.Path()] != nil {
+					deps = append(deps, imp.Path())
+				}
+			}
+			sort.Strings(deps)
+			for _, dep := range deps {
+				visit(m.byPath[dep])
+			}
+		}
+		order = append(order, p)
+	}
+	for _, p := range m.Packages { // already sorted by path
+		visit(p)
+	}
+	return order
+}

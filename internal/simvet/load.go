@@ -24,6 +24,7 @@ type Module struct {
 	Packages []*Package
 
 	byPath map[string]*Package
+	facts  map[factKey]Fact // cross-package analyzer summaries (see facts.go)
 }
 
 // Lookup returns the package with the given import path, or nil.

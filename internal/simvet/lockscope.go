@@ -1,0 +1,234 @@
+package simvet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope forbids blocking while holding a mutex in the serving
+// path. internal/server and internal/simrun multiplex many jobs over
+// shared state guarded by sync.Mutex/RWMutex; a channel operation,
+// disk read, HTTP call or unbounded simulation run inside a critical
+// section turns one slow job into a server-wide stall (and, with the
+// job queue, a deadlock candidate). The analyzer tracks the set of
+// held locks through each function body and reports every operation
+// that may block — directly (channel ops, selects without default,
+// stdlib I/O, interface Read/Write) or transitively (a call to a
+// function whose exported fact says it blocks, across packages) —
+// while that set is non-empty.
+//
+// Approximations, chosen to keep the check reviewable: statements are
+// walked in source order with branch bodies analyzed under a copy of
+// the entry lock set; the first Unlock of a mutex clears it (early
+// conditional unlocks therefore under-approximate); goroutine and
+// closure bodies start with no inherited locks; lock acquisition
+// through helper methods is not modeled. Audited block-while-locked
+// sites — e.g. serializing writes to the configured log writer — are
+// annotated //simvet:blockok with justification.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "forbid blocking operations (channel ops, I/O, blocking calls) while holding a mutex in internal/server and internal/simrun",
+	Run:  runLockScope,
+}
+
+// lockFact marks an exported function as blocking, with the reason.
+type lockFact struct {
+	Why string
+}
+
+// lockScopedSuffixes lists the packages whose critical sections are
+// checked. Blocking summaries are still computed module-wide so a
+// server-held lock spanning a call into simrun or engine is caught.
+var lockScopedSuffixes = []string{"internal/server", "internal/simrun"}
+
+func isLockScopedPackage(path string) bool {
+	for _, sfx := range lockScopedSuffixes {
+		if path == sfx || strings.HasSuffix(path, "/"+sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+func runLockScope(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	decls := packageDecls(pass)
+	order := declOrder(pass, decls)
+	extBlocked := func(fn *types.Func) (string, bool) {
+		if f, ok := pass.ImportFact(fn); ok {
+			return f.(*lockFact).Why, true
+		}
+		return "", false
+	}
+	why, _ := blockingSummaries(pass, decls, order, extBlocked)
+	for _, fn := range order {
+		if why[fn] != "" {
+			pass.ExportFact(fn, &lockFact{Why: why[fn]})
+		}
+	}
+	if !isLockScopedPackage(pass.Path) {
+		return nil
+	}
+
+	calleeWhy := func(fn *types.Func) (string, bool) {
+		if w := why[fn]; w != "" {
+			return headline(w), true
+		}
+		if decls[fn] == nil {
+			if w, ok := extBlocked(fn); ok {
+				return headline(w), true
+			}
+		}
+		return "", false
+	}
+	for _, fn := range order {
+		fd := decls[fn]
+		if fd.Body != nil {
+			checkLockedSections(pass, fd, calleeWhy)
+		}
+	}
+	return nil
+}
+
+// checkLockedSections walks fd's statements in source order, tracking
+// which mutexes are held, and reports blocking operations inside
+// critical sections.
+func checkLockedSections(pass *Pass, fd *ast.FuncDecl, calleeWhy func(*types.Func) (string, bool)) {
+	file := enclosingFile(pass, fd.Pos())
+	blockok := stmtDirectives(pass, file, "simvet:blockok")
+
+	report := func(n ast.Node, held map[string]bool) {
+		for _, hit := range scanBlockingOps(pass, n, calleeWhy) {
+			line := pass.Fset.Position(hit.pos).Line
+			if directiveAt(blockok, line) {
+				continue
+			}
+			pass.Reportf(hit.pos, "blocking operation (%s) in %s while holding %s; shrink the critical section, or annotate //simvet:blockok with the justification", hit.why, fd.Name.Name, heldNames(held))
+		}
+	}
+	reportExprs := func(held map[string]bool, exprs ...ast.Node) {
+		if len(held) == 0 {
+			return
+		}
+		for _, e := range exprs {
+			if e != nil {
+				report(e, held)
+			}
+		}
+	}
+
+	var walk func(stmts []ast.Stmt, held map[string]bool)
+	walk = func(stmts []ast.Stmt, held map[string]bool) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if key, op := mutexOp(pass, call); op != "" {
+						switch op {
+						case "Lock", "RLock":
+							held[key] = true
+						case "Unlock", "RUnlock":
+							delete(held, key)
+						}
+						continue
+					}
+				}
+				reportExprs(held, s.X)
+			case *ast.DeferStmt:
+				// defer mu.Unlock() keeps the lock held to return;
+				// other deferred work runs outside this walk's scope.
+			case *ast.GoStmt:
+				// The launched body inherits no locks; it is walked
+				// below with the other function literals.
+			case *ast.BlockStmt:
+				walk(s.List, held)
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt}, held)
+			case *ast.IfStmt:
+				reportExprs(held, s.Init, s.Cond)
+				walk(s.Body.List, copyHeld(held))
+				if s.Else != nil {
+					walk([]ast.Stmt{s.Else}, copyHeld(held))
+				}
+			case *ast.ForStmt:
+				reportExprs(held, s.Init, s.Cond, s.Post)
+				walk(s.Body.List, copyHeld(held))
+			case *ast.RangeStmt:
+				if len(held) > 0 {
+					if t := pass.Info.Types[s.X].Type; t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							report(s.X, held)
+						}
+					}
+				}
+				reportExprs(held, s.X)
+				walk(s.Body.List, copyHeld(held))
+			case *ast.SwitchStmt:
+				reportExprs(held, s.Init, s.Tag)
+				for _, c := range s.Body.List {
+					walk(c.(*ast.CaseClause).Body, copyHeld(held))
+				}
+			case *ast.TypeSwitchStmt:
+				reportExprs(held, s.Init)
+				for _, c := range s.Body.List {
+					walk(c.(*ast.CaseClause).Body, copyHeld(held))
+				}
+			default:
+				// Leaf statements (assignments, returns, sends,
+				// selects, ...): scan whole if any lock is held.
+				reportExprs(held, stmt)
+			}
+		}
+	}
+	walk(fd.Body.List, map[string]bool{})
+	// Closure and goroutine bodies start with no inherited locks but
+	// have critical sections of their own (the request-log serializer
+	// lives in a handler closure); each gets its own walk.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			walk(lit.Body.List, map[string]bool{})
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes a direct Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (including one embedded in a struct) and
+// returns the receiver expression as the lock's identity.
+func mutexOp(pass *Pass, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// heldNames renders the held-lock set deterministically.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

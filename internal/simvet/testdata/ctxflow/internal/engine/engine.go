@@ -1,0 +1,29 @@
+// Package engine is the compute leaf of the fixture: Run is a declared
+// blocking boundary, Wait blocks on a channel, and Pump's stalled loop
+// is reported across the package boundary when a root reaches it.
+package engine
+
+// Run advances the model; callers chunk the cycle count and bracket
+// each call with a context check.
+//
+//simvet:blocking — compute proportional to cycles, no cancellation point
+func Run(cycles int) int {
+	total := 0
+	for i := 0; i < cycles; i++ {
+		total += i
+	}
+	return total
+}
+
+// Wait blocks until one tick arrives.
+func Wait(ch chan int) int {
+	return <-ch
+}
+
+// Pump copies ticks until the input closes; the stall is reported at
+// this loop when the Relay root reaches it through exported facts.
+func Pump(in, out chan int) {
+	for v := range in { // want `loop can stall an iteration \(range over channel\) but never observes a context.* \(reachable from //simvet:ctxbound root Relay\)`
+		out <- v
+	}
+}

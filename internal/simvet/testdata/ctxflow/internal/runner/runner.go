@@ -1,0 +1,94 @@
+// Package runner holds the fixture's //simvet:ctxbound roots: loops
+// that block without observing ctx are flagged, loops that check
+// ctx.Err directly or hand ctx to an observing callee are clean, and
+// //simvet:bounded opts a provably finite wait out.
+package runner
+
+import (
+	"context"
+
+	"ctxfix/internal/engine"
+)
+
+// Execute is a cancellation root with one stalled loop per failure
+// mode and one loop that checks the context correctly.
+//
+//simvet:ctxbound
+func Execute(ctx context.Context, legs []int, ch chan int) error {
+	for _, leg := range legs { // want `loop can stall an iteration \(calls Run, which is annotated //simvet:blocking\) but never observes a context.* \(reachable from //simvet:ctxbound root Execute\)`
+		engine.Run(leg)
+	}
+	for _, leg := range legs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		engine.Run(leg)
+	}
+	for { // want `loop can stall an iteration \(no loop condition\) but never observes a context.* \(reachable from //simvet:ctxbound root Execute\)`
+		if done(ch) {
+			return nil
+		}
+	}
+}
+
+// done polls without blocking: the defaulted select is exempt.
+func done(ch chan int) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// step observes ctx before each compute slice.
+func step(ctx context.Context, leg int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	engine.Run(leg)
+	return nil
+}
+
+// Chunked stays responsive by handing ctx to the observing step every
+// iteration, so its loop is clean.
+//
+//simvet:ctxbound
+func Chunked(ctx context.Context, legs []int) error {
+	for _, leg := range legs {
+		if err := step(ctx, leg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Probes runs a fixed probe pair; the wait is bounded by construction.
+//
+//simvet:ctxbound
+func Probes(ch chan int) int {
+	total := 0
+	//simvet:bounded — two fixed probes, each tick arrives within a cycle
+	for i := 0; i < 2; i++ {
+		total += engine.Wait(ch)
+	}
+	return total
+}
+
+// Relay reaches engine.Pump across the package boundary; Pump's loop
+// is reported at its own declaration.
+//
+//simvet:ctxbound
+func Relay(in, out chan int) {
+	engine.Pump(in, out)
+}
+
+// Helper drains a channel but no root reaches it, so its stalled loop
+// draws no diagnostic.
+func Helper(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -15,7 +15,7 @@ func Step(src *xrand.Source) int {
 	n := mrand.Intn(4)
 	var buf [1]byte
 	crand.Read(buf[:])
-	start := time.Now()            // want `time.Now in deterministic package`
-	_ = time.Since(start)          // want `time.Since in deterministic package`
+	start := time.Now()   // want `time.Now in deterministic package`
+	_ = time.Since(start) // want `time.Since in deterministic package`
 	return n + int(buf[0]) + src.Intn(4)
 }

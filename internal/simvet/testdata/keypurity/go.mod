@@ -1,0 +1,3 @@
+module keyfix
+
+go 1.24

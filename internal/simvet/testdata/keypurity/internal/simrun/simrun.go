@@ -1,0 +1,73 @@
+// Package simrun mirrors the real module's key-derivation path:
+// everything reachable from the //simvet:keypath root must be a pure
+// canonical function of its inputs.
+package simrun
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"keyfix/internal/spec"
+)
+
+// Key is the fixture's cache-key root.
+//
+//simvet:keypath
+func Key(load float64, ratios map[string]int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "load %x ", math.Float64bits(load)) // canonical: bit pattern
+	fmt.Fprintf(h, "raw %v ", load)                    // want `%v on float64 in key-derivation code`
+	fmt.Fprintf(h, "addr %p ", h)                      // want `%p in key-derivation code`
+	for name := range ratios {                         // want `map iteration in key-derivation code`
+		_ = name
+	}
+	var names []string
+	//simvet:orderfree — keys are collected and sorted before hashing
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if data, err := json.Marshal(ratios); err == nil { // want `JSON-encoding a map- or interface-bearing value`
+		h.Write(data)
+	}
+	hashNames(h, names)
+	spec.EnvSalt(h)
+	Stamp(h, load)
+	_ = fail(load)
+	_ = rand.Int() // want `randomness \(math/rand.Int\) in key-derivation code`
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashNames is reachable from the root; its impurity is reported at
+// its own body.
+func hashNames(w io.Writer, names []string) {
+	format := "name %s "
+	for _, n := range names {
+		fmt.Fprintf(w, format, n) // want `non-constant format string in key-derivation code`
+	}
+}
+
+// Stamp would flag (%v on a float) but is audited by hand.
+//
+//simvet:keypure
+func Stamp(w io.Writer, f float64) {
+	fmt.Fprintf(w, "%v", f)
+}
+
+// fail uses fmt.Errorf, which is exempt: error paths are never hashed.
+func fail(load float64) error {
+	return fmt.Errorf("bad load %v", load)
+}
+
+// Clock reads the wall clock but is unreachable from any key root, so
+// it draws no diagnostic.
+func Clock() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,14 @@
+// Package spec is the cross-package leg of the keypurity fixture: the
+// impurity below is reachable only from the root in package simrun, so
+// reporting it requires the exported-facts path.
+package spec
+
+import (
+	"io"
+	"os"
+)
+
+// EnvSalt mixes the environment into whatever w is hashing.
+func EnvSalt(w io.Writer) {
+	w.Write([]byte(os.Getenv("KEYFIX_SALT"))) // want `reads the environment \(os.Getenv\) in key-derivation code`
+}

@@ -1,0 +1,34 @@
+// Package simrun provides the cross-package half of the fixture:
+// Flush's blocking summary is exported as a fact and consumed by the
+// server package's critical-section check.
+package simrun
+
+import (
+	"os"
+	"sync"
+)
+
+// Flush persists a snapshot; its exported fact says it blocks.
+func Flush(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Tracker guards a counter.
+type Tracker struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Bump is a clean critical section: nothing inside can block.
+func (t *Tracker) Bump() {
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+}
+
+// Dump does disk I/O while holding the mutex.
+func (t *Tracker) Dump(path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	os.WriteFile(path, nil, 0o644) // want `blocking operation \(os.WriteFile disk write\) in Dump while holding t.mu`
+}

@@ -1,0 +1,48 @@
+// Package metrics carries the fixture's wire declarations: one of
+// each lock outcome (matching, drifted, never locked, removed-only,
+// unannotated reference, non-schema annotations).
+package metrics
+
+// Header is the locked CSV header.
+//
+//simvet:wire
+const Header = "a,b,c\n"
+
+// Version is numeric, which cannot carry a wire schema.
+//
+//simvet:wire
+const Version = 3 // want `//simvet:wire on non-string constant Version`
+
+// Point matches the committed lock exactly.
+//
+//simvet:wire
+type Point struct {
+	Offered float64 `json:"offered"`
+	Latency float64 `json:"latency"`
+}
+
+// Drifted is committed with Count int64; the code narrowed it.
+//
+//simvet:wire
+type Drifted struct { // want `wire schema of wirefix/internal/metrics\.Drifted drifted from docs/wire\.lock`
+	Count int32 `json:"count"`
+}
+
+// Fresh is annotated but was never locked.
+//
+//simvet:wire
+type Fresh struct { // want `type wirefix/internal/metrics\.Fresh is //simvet:wire but absent from docs/wire\.lock`
+	Name string `json:"name"`
+}
+
+// NotWire is referenced from a wire struct but carries no annotation.
+type NotWire struct {
+	X int `json:"x"`
+}
+
+// Holder shows the closed-under-annotation rule.
+//
+//simvet:wire
+type Holder struct {
+	Inner NotWire `json:"inner"` // want `wire struct Holder field Inner references wirefix/internal/metrics\.NotWire, which is not annotated //simvet:wire`
+}

@@ -1,0 +1,15 @@
+// Package server closes the wire surface across a package boundary:
+// metrics.Point's annotation is visible here only through the
+// exported-facts path, so a matching Snapshot draws no diagnostic.
+package server
+
+import "wirefix/internal/metrics"
+
+// Snapshot is locked and references a wire struct from another
+// package.
+//
+//simvet:wire
+type Snapshot struct {
+	ID     string          `json:"id"`
+	Points []metrics.Point `json:"points"`
+}

@@ -1,0 +1,338 @@
+package simvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireStable locks the simulator's externally visible data shapes. A
+// struct or string constant annotated //simvet:wire is wire format —
+// the simd HTTP request/response bodies, job snapshots, the simrun
+// progress counters, the cache-entry layout on disk, the metrics CSV
+// header. The analyzer derives a canonical schema for each (field
+// names in declaration order, effective json tags, fully qualified
+// field types, const values) and, in its Finish hook, diffs the
+// assembled module schema against the committed docs/wire.lock golden.
+// An accidental rename, tag edit, type change or field reorder fails
+// CI with the differing entry; an intentional change regenerates the
+// lock with `go run ./cmd/simvet -writewire`, which makes the wire
+// break visible in review as a lock-file diff. This is the contract a
+// future coordinator/worker fleet protocol extends.
+//
+// Every module-local named struct referenced by a wire struct's fields
+// must itself be annotated //simvet:wire: the wire surface is closed
+// under reachability, and the analyzer insists the closure be written
+// down rather than inferred.
+var WireStable = &Analyzer{
+	Name:   "wirestable",
+	Doc:    "lock the schema of //simvet:wire structs and constants against docs/wire.lock (the simd HTTP, cache-file and CSV formats)",
+	Run:    runWireStable,
+	Finish: finishWireStable,
+}
+
+// WireLockFile is the lock's module-relative path, for cmd/simvet.
+const WireLockFile = "docs/wire.lock"
+
+// wireEntry is the exported fact for one wire declaration: its
+// canonical schema block and where it was declared.
+type wireEntry struct {
+	Kind string // "type" or "const"
+	Name string // fully qualified: pkgpath.Ident
+	Body []string
+	Pos  token.Pos
+}
+
+func runWireStable(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	// First pass: which package-level objects are annotated? Needed
+	// before the reference check so order within the package does not
+	// matter (cross-package references resolve through facts, which
+	// dependency-ordered execution has already finalized).
+	annotated := make(map[types.Object]bool)
+	type wireDecl struct {
+		obj  types.Object
+		spec ast.Spec
+	}
+	var declsInOrder []wireDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			groupWire := hasDirective(gd.Doc, "simvet:wire")
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if groupWire || hasDirective(s.Doc, "simvet:wire") || hasDirective(s.Comment, "simvet:wire") {
+						if obj := pass.Info.Defs[s.Name]; obj != nil {
+							annotated[obj] = true
+							declsInOrder = append(declsInOrder, wireDecl{obj, s})
+						}
+					}
+				case *ast.ValueSpec:
+					if gd.Tok == token.CONST && (groupWire || hasDirective(s.Doc, "simvet:wire") || hasDirective(s.Comment, "simvet:wire")) {
+						for _, name := range s.Names {
+							if obj := pass.Info.Defs[name]; obj != nil {
+								annotated[obj] = true
+								declsInOrder = append(declsInOrder, wireDecl{obj, s})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, wd := range declsInOrder {
+		switch obj := wd.obj.(type) {
+		case *types.TypeName:
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				pass.Reportf(obj.Pos(), "//simvet:wire on %s, which is not a struct type; only structs and string constants carry a wire schema", obj.Name())
+				continue
+			}
+			entry := &wireEntry{
+				Kind: "type",
+				Name: obj.Pkg().Path() + "." + obj.Name(),
+				Pos:  obj.Pos(),
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				entry.Body = append(entry.Body, wireFieldLine(f, st.Tag(i)))
+				checkWireRefs(pass, annotated, obj, f, f.Type(), nil)
+			}
+			pass.ExportFact(obj, entry)
+		case *types.Const:
+			if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+				pass.Reportf(obj.Pos(), "//simvet:wire on non-string constant %s; only structs and string constants carry a wire schema", obj.Name())
+				continue
+			}
+			pass.ExportFact(obj, &wireEntry{
+				Kind: "const",
+				Name: obj.Pkg().Path() + "." + obj.Name(),
+				Body: []string{fmt.Sprintf("%q", constant.StringVal(obj.Val()))},
+				Pos:  obj.Pos(),
+			})
+		}
+	}
+	return nil
+}
+
+// wireFieldLine renders one struct field canonically: name, fully
+// qualified type, and the effective encoding/json key with options.
+func wireFieldLine(f *types.Var, tag string) string {
+	jsonTag := reflect.StructTag(tag).Get("json")
+	name, opts, _ := strings.Cut(jsonTag, ",")
+	switch {
+	case name == "" && !f.Exported():
+		name = "-" // encoding/json skips unexported fields
+	case name == "":
+		name = f.Name()
+	}
+	eff := name
+	if opts != "" {
+		eff += "," + opts
+	}
+	return fmt.Sprintf("%s %s json:%q", f.Name(), types.TypeString(f.Type(), nil), eff)
+}
+
+// checkWireRefs requires every module-local named struct reachable
+// through a wire field's type to be //simvet:wire itself: the wire
+// surface must be annotated shut, not discovered.
+func checkWireRefs(pass *Pass, annotated map[types.Object]bool, owner *types.TypeName, f *types.Var, t types.Type, seen map[types.Type]bool) {
+	if seen[t] {
+		return
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct && obj != owner && isModuleLocal(pass, obj) {
+			if !annotated[obj] {
+				if _, ok := pass.ImportFact(obj); !ok {
+					pass.Reportf(f.Pos(), "wire struct %s field %s references %s.%s, which is not annotated //simvet:wire; the wire surface must be closed under annotation", owner.Name(), f.Name(), obj.Pkg().Path(), obj.Name())
+				}
+			}
+			return // its own fields are checked at its own declaration
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		checkWireRefs(pass, annotated, owner, f, u.Elem(), seen)
+	case *types.Slice:
+		checkWireRefs(pass, annotated, owner, f, u.Elem(), seen)
+	case *types.Array:
+		checkWireRefs(pass, annotated, owner, f, u.Elem(), seen)
+	case *types.Map:
+		checkWireRefs(pass, annotated, owner, f, u.Key(), seen)
+		checkWireRefs(pass, annotated, owner, f, u.Elem(), seen)
+	}
+}
+
+// sortedWireEntries returns the module's wire entries sorted by kind
+// then name — the deterministic lock-file order.
+func sortedWireEntries(pass *Pass) []*wireEntry {
+	var entries []*wireEntry
+	for _, f := range pass.AllFacts() {
+		if e, ok := f.(*wireEntry); ok {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Kind != entries[j].Kind {
+			return entries[i].Kind < entries[j].Kind
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	return entries
+}
+
+// renderWireLock produces the lock-file text: a comment header, then
+// one block per entry, tab-indented bodies, sorted, byte-stable.
+func renderWireLock(entries []*wireEntry) string {
+	var b strings.Builder
+	b.WriteString("# simvet wire.lock — canonical schema of every //simvet:wire declaration:\n")
+	b.WriteString("# the simd HTTP API, cache-file and CSV wire formats. CI fails when the\n")
+	b.WriteString("# code drifts from this file. After an INTENTIONAL wire change, regenerate\n")
+	b.WriteString("# with: go run ./cmd/simvet -writewire\n")
+	for _, e := range entries {
+		b.WriteString("\n")
+		b.WriteString(e.Kind + " " + e.Name + "\n")
+		for _, line := range e.Body {
+			b.WriteString("\t" + line + "\n")
+		}
+	}
+	return b.String()
+}
+
+// WireLockText derives the module's current wire.lock content. Used by
+// `cmd/simvet -writewire` and by the byte-stability test; diagnostics
+// from the derivation (unannotated references) are ignored here — the
+// full analyzer run reports them.
+func WireLockText(mod *Module) (string, error) {
+	var finishPass *Pass
+	for _, pkg := range mod.PackagesInDependencyOrder() {
+		pass := &Pass{
+			Analyzer: WireStable,
+			Fset:     mod.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Module:   mod,
+			Report:   func(Diagnostic) {},
+		}
+		if err := runWireStable(pass); err != nil {
+			return "", err
+		}
+		finishPass = pass
+	}
+	if finishPass == nil {
+		return "", fmt.Errorf("wirestable: empty module")
+	}
+	return renderWireLock(sortedWireEntries(finishPass)), nil
+}
+
+// finishWireStable diffs the assembled schema against docs/wire.lock.
+func finishWireStable(pass *Pass) error {
+	entries := sortedWireEntries(pass)
+	lockPath := filepath.Join(pass.Module.Dir, filepath.FromSlash(WireLockFile))
+	reportAtLock := func(line int, format string, args ...any) {
+		pass.Report(Diagnostic{
+			Analyzer: pass.Analyzer.Name,
+			Pos:      token.Position{Filename: lockPath, Line: line},
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		if len(entries) == 0 {
+			return nil // module has no wire surface and no lock: clean
+		}
+		reportAtLock(1, "%s missing but the module declares %d //simvet:wire schema(s); generate it with: go run ./cmd/simvet -writewire", WireLockFile, len(entries))
+		return nil
+	}
+
+	committed, lockLines := parseWireLock(string(data))
+	current := make(map[string]*wireEntry, len(entries))
+	for _, e := range entries {
+		current[e.Kind+" "+e.Name] = e
+	}
+
+	for _, e := range entries {
+		key := e.Kind + " " + e.Name
+		want, ok := committed[key]
+		if !ok {
+			pass.Reportf(e.Pos, "%s %s is //simvet:wire but absent from %s; regenerate the lock with: go run ./cmd/simvet -writewire", e.Kind, e.Name, WireLockFile)
+			continue
+		}
+		if d := firstSchemaDiff(want, e.Body); d != "" {
+			pass.Reportf(e.Pos, "wire schema of %s drifted from %s (%s); if the wire change is intentional, regenerate with: go run ./cmd/simvet -writewire", e.Name, WireLockFile, d)
+		}
+	}
+	var removed []string
+	for key := range committed {
+		if current[key] == nil {
+			removed = append(removed, key)
+		}
+	}
+	sort.Strings(removed)
+	for _, key := range removed {
+		reportAtLock(lockLines[key], "%s is locked in %s but no longer declared //simvet:wire; restore the annotation or regenerate the lock with: go run ./cmd/simvet -writewire", key, WireLockFile)
+	}
+	return nil
+}
+
+// parseWireLock reads a lock file into entry bodies keyed by header
+// ("type pkg.Name" / "const pkg.Name") plus each header's line number.
+func parseWireLock(text string) (map[string][]string, map[string]int) {
+	bodies := make(map[string][]string)
+	lines := make(map[string]int)
+	var cur string
+	for i, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "\t"):
+			if cur != "" {
+				bodies[cur] = append(bodies[cur], strings.TrimPrefix(line, "\t"))
+			}
+		default:
+			cur = line
+			if _, dup := bodies[cur]; !dup {
+				bodies[cur] = nil
+				lines[cur] = i + 1
+			}
+		}
+	}
+	return bodies, lines
+}
+
+// firstSchemaDiff describes the first difference between a committed
+// and a derived schema body, or "" if identical.
+func firstSchemaDiff(want, got []string) string {
+	for i := 0; i < len(want) || i < len(got); i++ {
+		switch {
+		case i >= len(want):
+			return fmt.Sprintf("field added: %s", got[i])
+		case i >= len(got):
+			return fmt.Sprintf("field removed: %s", want[i])
+		case want[i] != got[i]:
+			return fmt.Sprintf("locked %q, code has %q", want[i], got[i])
+		}
+	}
+	return ""
+}
