@@ -335,6 +335,99 @@ func BenchmarkTopologyBuild(b *testing.B) {
 	}
 }
 
+// Large-N scaling benchmarks: binary destination-tag MINs at 1K, 4K
+// and 64K nodes — the sizes the stage-factored routing representation
+// exists for. The dense table's offset index alone is O(C·N): ~50 MB
+// at 1K nodes and ~300 GB at 64K, so these sizes only run on the
+// factored path, which each benchmark asserts.
+var largeNSizes = []struct {
+	Name   string
+	Stages int // k = 2, nodes = 2^Stages
+}{
+	{"dtag-1k", 10},
+	{"dtag-4k", 12},
+	{"dtag-64k", 16},
+}
+
+func largeNNet(b *testing.B, stages int) *topology.Network {
+	b.Helper()
+	net, err := topology.NewUnidirectional(topology.UniConfig{
+		K: 2, Stages: stages, Pattern: topology.Cube, Dilation: 1, VCs: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// largeNSource builds a uniform workload at load 0.1 — deep binary
+// MINs saturate well below the 64-node benchmarks' 0.4, and the
+// scaling question is per-cycle cost, not congestion behavior.
+func largeNSource(b *testing.B, net *topology.Network) engine.Source {
+	b.Helper()
+	c := traffic.Global(net.Nodes)
+	rates, err := traffic.NodeRates(c, 0.1, traffic.PaperLengths.Mean(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := traffic.NewWorkload(traffic.Config{
+		Nodes:   net.Nodes,
+		Pattern: traffic.Uniform{C: c},
+		Lengths: traffic.PaperLengths,
+		Rates:   rates,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+// BenchmarkEngineLargeN steps the large MINs in steady state and
+// reports ns/cycle (the op time) plus the resident routing bytes.
+func BenchmarkEngineLargeN(b *testing.B) {
+	for _, s := range largeNSizes {
+		b.Run(s.Name, func(b *testing.B) {
+			net := largeNNet(b, s.Stages)
+			e, err := engine.New(engine.Config{Net: net, Source: largeNSource(b, net), Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !e.RoutingFactored() {
+				b.Fatalf("%s did not select the factored routing path", net.Name())
+			}
+			e.Run(256) // fill the pipeline before measuring
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(e.RoutingBytes()), "routing_B")
+		})
+	}
+}
+
+// BenchmarkEngineLargeNBuild measures cold construction — topology,
+// workload and engine, including validation and the factored
+// representation's structural verification sweep — for each size.
+func BenchmarkEngineLargeNBuild(b *testing.B) {
+	for _, s := range largeNSizes {
+		b.Run(s.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := largeNNet(b, s.Stages)
+				e, err := engine.New(engine.Config{Net: net, Source: largeNSource(b, net), Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !e.RoutingFactored() {
+					b.Fatalf("%s did not select the factored routing path", net.Name())
+				}
+			}
+		})
+	}
+}
+
 // New extension ablations.
 func BenchmarkExtXMIN(b *testing.B)     { runFigure(b, "ext-xmin") }
 func BenchmarkExtBMINVC(b *testing.B)   { runFigure(b, "ext-bmin-vc") }

@@ -37,6 +37,17 @@
 // engines. Baselines written before the batched engine lack the
 // section; diff mode reports a one-sided section informationally
 // rather than failing.
+//
+// The table section records the large-N scaling axis of the
+// stage-factored routing representation: binary destination-tag MINs
+// at 1K, 4K and 64K nodes, each row reporting cold construction time
+// (topology + workload + engine, including the factored verification
+// sweep), resident routing bytes, process heap after build, and
+// steady-state ns/cycle. The engine section additionally carries each
+// paper family's construction cost and routing bytes. Both are
+// informational in diff mode — construction happens once per run and
+// the large sizes are too slow-moving to gate on — and absent from
+// baselines that predate the factored representation.
 package main
 
 import (
@@ -53,6 +64,7 @@ import (
 	"minsim/internal/engine"
 	"minsim/internal/experiments"
 	"minsim/internal/simrun"
+	"minsim/internal/topology"
 	"minsim/internal/traffic"
 )
 
@@ -61,12 +73,33 @@ import (
 var benchBudget = experiments.Budget{WarmupCycles: 10_000, MeasureCycles: 30_000, Seed: 1995}
 
 // EngineResult is the micro-benchmark record for one network family.
+// BuildNs and RoutingBytes (zero in baselines that predate the
+// stage-factored routing representation) record the one-time
+// construction cost — topology, workload and engine — and the
+// resident routing state; both are informational in diff mode.
 type EngineResult struct {
 	NsPerCycle     float64 `json:"ns_per_cycle"`
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 	BytesPerCycle  float64 `json:"bytes_per_cycle"`
 	FlitsPerCycle  float64 `json:"flits_per_cycle"`
+	BuildNs        float64 `json:"build_ns,omitempty"`
+	RoutingBytes   int     `json:"routing_bytes,omitempty"`
+}
+
+// TableResult is one row of the large-N scaling section: a binary
+// destination-tag MIN at 2^Stages nodes routed through the
+// stage-factored representation. HeapBytes is the process heap after
+// building the network and engine (post-GC), the resident footprint
+// the 64K acceptance bound is about.
+type TableResult struct {
+	Nodes        int     `json:"nodes"`
+	Stages       int     `json:"stages"`
+	BuildNs      float64 `json:"build_ns"`
+	RoutingBytes int     `json:"routing_bytes"`
+	HeapBytes    uint64  `json:"heap_bytes"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+	Factored     bool    `json:"factored"`
 }
 
 // FigureResult records one figure panel's full-sweep run time.
@@ -99,6 +132,7 @@ type Baseline struct {
 	Engine     map[string]EngineResult    `json:"engine"`
 	Figures    map[string]FigureResult    `json:"figures"`
 	Replicas   map[string][]ReplicaResult `json:"replicas,omitempty"`
+	Table      map[string]TableResult     `json:"table,omitempty"`
 }
 
 func main() {
@@ -107,6 +141,7 @@ func main() {
 		rev          = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
 		skipFigures  = flag.Bool("skip-figures", false, "skip the figure-sweep benchmarks")
 		skipReplicas = flag.Bool("skip-replicas", false, "skip the ReplicaSet amortization benchmarks")
+		skipTable    = flag.Bool("skip-table", false, "skip the large-N scaling (table) benchmarks")
 		diff         = flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of benchmarking")
 		threshold    = flag.Float64("threshold", 0.05, "diff mode: allowed ns/cycle regression fraction; negative disables gating")
 	)
@@ -144,9 +179,27 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", ns.Name, err))
 		}
 		res.FlitsPerCycle = flits
+		res.BuildNs, res.RoutingBytes, err = benchConstruct(ns.Spec)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", ns.Name, err))
+		}
 		b.Engine[ns.Name] = res
-		fmt.Printf("engine/%-16s %10.0f cycles/sec  %7.1f ns/cycle  %5.2f allocs/cycle\n",
-			ns.Name, res.CyclesPerSec, res.NsPerCycle, res.AllocsPerCycle)
+		fmt.Printf("engine/%-16s %10.0f cycles/sec  %7.1f ns/cycle  %5.2f allocs/cycle  build %7.0f ns  routing %6d B\n",
+			ns.Name, res.CyclesPerSec, res.NsPerCycle, res.AllocsPerCycle, res.BuildNs, res.RoutingBytes)
+	}
+
+	if !*skipTable {
+		b.Table = map[string]TableResult{}
+		for _, ts := range tableSizes {
+			res, err := benchTable(ts.Stages)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", ts.Name, err))
+			}
+			b.Table[ts.Name] = res
+			fmt.Printf("table/%-17s %6d nodes  build %7.1f ms  routing %4d B  heap %6.1f MB  %8.0f ns/cycle\n",
+				ts.Name, res.Nodes, res.BuildNs/1e6, res.RoutingBytes,
+				float64(res.HeapBytes)/(1<<20), res.NsPerCycle)
+		}
 	}
 
 	if !*skipReplicas {
@@ -248,6 +301,127 @@ func benchEngine(spec experiments.NetworkSpec) (EngineResult, float64, error) {
 		AllocsPerCycle: float64(r.AllocsPerOp()),
 		BytesPerCycle:  float64(r.AllocedBytesPerOp()),
 	}, flitsPerCycle, nil
+}
+
+// benchConstruct measures the one-time construction cost of a paper
+// family — topology build, workload setup and engine.New — and
+// reports the resident routing bytes of the built engine.
+func benchConstruct(spec experiments.NetworkSpec) (buildNs float64, routingBytes int, err error) {
+	build := func() (*engine.Engine, error) {
+		net, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		src, err := uniformWorkload(net, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		return engine.New(engine.Config{Net: net, Source: src, Seed: 1})
+	}
+	e, err := build()
+	if err != nil {
+		return 0, 0, err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			if _, err := build(); err != nil {
+				benchErr = err
+				tb.Skip()
+			}
+		}
+	})
+	if benchErr != nil {
+		return 0, 0, benchErr
+	}
+	return float64(r.NsPerOp()), e.RoutingBytes(), nil
+}
+
+// uniformWorkload builds the standard uniform benchmark source at the
+// given load with seed 1.
+func uniformWorkload(net *topology.Network, load float64) (engine.Source, error) {
+	c := traffic.Global(net.Nodes)
+	rates, err := traffic.NodeRates(c, load, traffic.PaperLengths.Mean(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewWorkload(traffic.Config{
+		Nodes:   net.Nodes,
+		Pattern: traffic.Uniform{C: c},
+		Lengths: traffic.PaperLengths,
+		Rates:   rates,
+		Seed:    1,
+	})
+}
+
+// tableSizes mirrors the BenchmarkEngineLargeN family in
+// bench_test.go: binary destination-tag MINs, nodes = 2^stages.
+var tableSizes = []struct {
+	Name   string
+	Stages int
+}{
+	{"dtag-1k", 10},
+	{"dtag-4k", 12},
+	{"dtag-64k", 16},
+}
+
+// buildLargeEngine constructs one large-N row's network and engine:
+// a k=2 cube-wired destination-tag MIN at uniform load 0.1 (deep
+// binary MINs saturate well below the 64-node benchmarks' 0.4).
+func buildLargeEngine(stages int) (*engine.Engine, error) {
+	net, err := topology.NewUnidirectional(topology.UniConfig{
+		K: 2, Stages: stages, Pattern: topology.Cube, Dilation: 1, VCs: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src, err := uniformWorkload(net, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(engine.Config{Net: net, Source: src, Seed: 1})
+}
+
+// benchTable produces one row of the large-N scaling section: cold
+// construction time, post-build resident heap, routing bytes and
+// steady-state stepping cost.
+func benchTable(stages int) (TableResult, error) {
+	var benchErr error
+	build := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			if _, err := buildLargeEngine(stages); err != nil {
+				benchErr = err
+				tb.Skip()
+			}
+		}
+	})
+	if benchErr != nil {
+		return TableResult{}, benchErr
+	}
+
+	e, err := buildLargeEngine(stages)
+	if err != nil {
+		return TableResult{}, err
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	e.Run(256) // fill the pipeline before measuring steady state
+	step := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			e.Step()
+		}
+	})
+	return TableResult{
+		Nodes:        1 << stages,
+		Stages:       stages,
+		BuildNs:      float64(build.NsPerOp()),
+		RoutingBytes: e.RoutingBytes(),
+		HeapBytes:    ms.HeapAlloc,
+		NsPerCycle:   float64(step.NsPerOp()),
+		Factored:     e.RoutingFactored(),
+	}, nil
 }
 
 // replicaLaneCounts is the amortization curve's x-axis; the cycle
@@ -378,6 +552,15 @@ func diffBaselines(oldPath, newPath string, threshold float64) error {
 		if threshold >= 0 && n.AllocsPerCycle > o.AllocsPerCycle {
 			regressions = append(regressions, fmt.Sprintf("%s allocs/cycle %.2f -> %.2f", name, o.AllocsPerCycle, n.AllocsPerCycle))
 		}
+		// Construction cost is informational: it runs once per process,
+		// not per cycle, and older baselines carry no numbers.
+		if o.BuildNs > 0 && n.BuildNs > 0 {
+			fmt.Printf("engine/%-16s build %7.0f -> %7.0f ns (%+6.1f%%)  routing %6d -> %6d B\n",
+				name, o.BuildNs, n.BuildNs, (n.BuildNs/o.BuildNs-1)*100, o.RoutingBytes, n.RoutingBytes)
+		} else if n.BuildNs > 0 {
+			fmt.Printf("engine/%-16s build %7.0f ns  routing %6d B (new in %s; informational)\n",
+				name, n.BuildNs, n.RoutingBytes, newPath)
+		}
 	}
 	for _, name := range sortedKeys(oldB.Figures) {
 		o := oldB.Figures[name]
@@ -389,6 +572,7 @@ func diffBaselines(oldPath, newPath string, threshold float64) error {
 			name, o.SecPerSweep, n.SecPerSweep, (n.SecPerSweep/o.SecPerSweep-1)*100)
 	}
 	diffReplicas(oldB, newB, oldPath, newPath)
+	diffTable(oldB, newB, oldPath, newPath)
 	if len(regressions) > 0 {
 		return fmt.Errorf("performance regressed past threshold: %s", strings.Join(regressions, "; "))
 	}
@@ -435,6 +619,38 @@ func diffReplicas(oldB, newB Baseline, oldPath, newPath string) {
 					name, o.Lanes, o.NsPerReplicaCycle, n.NsPerReplicaCycle,
 					(n.NsPerReplicaCycle/o.NsPerReplicaCycle-1)*100, o.Speedup, n.Speedup)
 			}
+		}
+	}
+}
+
+// diffTable reports the large-N scaling deltas. Always informational:
+// baselines from before the stage-factored representation lack the
+// section, and the hard gates on this axis are the bit-exactness and
+// memory-ceiling tests, not runner timing.
+func diffTable(oldB, newB Baseline, oldPath, newPath string) {
+	switch {
+	case len(oldB.Table) == 0 && len(newB.Table) == 0:
+		return
+	case len(oldB.Table) == 0:
+		fmt.Printf("table section only in %s (new since %s; informational)\n", newPath, oldB.Revision)
+		for _, name := range sortedKeys(newB.Table) {
+			r := newB.Table[name]
+			fmt.Printf("table/%-17s %6d nodes  build %7.1f ms  routing %4d B  heap %6.1f MB  %8.0f ns/cycle\n",
+				name, r.Nodes, r.BuildNs/1e6, r.RoutingBytes, float64(r.HeapBytes)/(1<<20), r.NsPerCycle)
+		}
+	case len(newB.Table) == 0:
+		fmt.Printf("table section missing from %s (present in %s; informational)\n", newPath, oldPath)
+	default:
+		for _, name := range sortedKeys(oldB.Table) {
+			o := oldB.Table[name]
+			n, ok := newB.Table[name]
+			if !ok {
+				fmt.Printf("table/%-17s missing from %s\n", name, newPath)
+				continue
+			}
+			fmt.Printf("table/%-17s %8.0f -> %8.0f ns/cycle (%+6.1f%%)  build %7.1f -> %7.1f ms  routing %4d -> %4d B\n",
+				name, o.NsPerCycle, n.NsPerCycle, (n.NsPerCycle/o.NsPerCycle-1)*100,
+				o.BuildNs/1e6, n.BuildNs/1e6, o.RoutingBytes, n.RoutingBytes)
 		}
 	}
 }

@@ -130,9 +130,10 @@ func (rs *ReplicaSet) EnableChannelStats() {
 // channel statistics were never enabled. The slice is live.
 func (rs *ReplicaSet) ChannelFlits(r int) []int64 { return rs.lanes[r].ChannelFlits() }
 
-// TableBytes returns the memory footprint of the shared route table —
-// the dominant per-engine cost the lanes split R ways.
-func (rs *ReplicaSet) TableBytes() int { return rs.lanes[0].table.Bytes() }
+// TableBytes returns the memory footprint of the shared routing
+// structure (stage-factored tables or the dense fallback table) —
+// a per-engine cost the lanes split R ways.
+func (rs *ReplicaSet) TableBytes() int { return rs.lanes[0].RoutingBytes() }
 
 // Step advances every lane by exactly one cycle, in lane order — the
 // strict per-cycle lockstep loop. The steady-state per-lane cost must

@@ -15,10 +15,18 @@ import "minsim/internal/topology"
 // wormsPerLane is the number of pool worms primed per lane. A worm in
 // flight occupies at least its injection channel, and injection
 // channels are per-node, so net.Nodes live worms is the common-case
-// ceiling; a lane that exceeds its primed pool falls back to ordinary
-// heap allocation (newWorm), which is correct but abandons slab
-// density for the extra worms.
-func wormsPerLane(net *topology.Network) int { return net.Nodes }
+// ceiling. The pool is capped so large-N networks don't pre-pay
+// O(R·N·maxPath) slab memory for worms that are never simultaneously
+// live at sweep loads: a lane that exceeds its primed pool falls back
+// to ordinary heap allocation (newWorm), which is correct but
+// abandons slab density for the extra worms.
+func wormsPerLane(net *topology.Network) int {
+	const cap = 1024
+	if net.Nodes > cap {
+		return cap
+	}
+	return net.Nodes
+}
 
 // maxWormPath bounds the path length a worm can acquire: one injection
 // channel, at most one forward channel per stage (twice for the

@@ -60,6 +60,21 @@ func (r Radix) Size() int { return r.size }
 // Valid reports whether x is a valid address in this space.
 func (r Radix) Valid(x int) bool { return 0 <= x && x < r.size }
 
+// Bits returns the width in bits of one radix digit when k is a
+// power of two (k == 1<<b), and ok = false otherwise. A power-of-two
+// radix makes every digit a bit field of the address, so digit
+// extraction and replacement collapse to shifts and masks — the
+// property the stage-factored routing representation builds on.
+func (r Radix) Bits() (b int, ok bool) {
+	if r.k < 2 || r.k&(r.k-1) != 0 {
+		return 0, false
+	}
+	for 1<<b < r.k {
+		b++
+	}
+	return b, true
+}
+
 // pow returns k^i for 0 <= i <= n.
 func (r Radix) pow(i int) int {
 	p := 1

@@ -16,6 +16,7 @@ import (
 
 	"minsim/internal/engine"
 	"minsim/internal/metrics"
+	"minsim/internal/topology"
 )
 
 // maxLanesPerSet caps the lanes batched into one ReplicaSet. Past
@@ -24,6 +25,40 @@ import (
 // worker pool's scheduling granule — keeps getting coarser, so larger
 // groups split into several sets that can run on different workers.
 const maxLanesPerSet = 16
+
+// laneNodeBudget bounds lanes × nodes per ReplicaSet. Slab memory
+// grows with lanes × channels, so wide sets of large-N points would
+// trade a few percent of throughput for hundreds of megabytes of
+// mutable state; 2^18 node-lanes keeps a set's slabs in the tens of
+// megabytes at any size while leaving every paper-scale (64-node)
+// group at the full maxLanesPerSet width.
+const laneNodeBudget = 1 << 18
+
+// laneWidth returns the widest ReplicaSet points over this network
+// should join. Two inputs. Family: BMIN lockstep batching measured a
+// wash in BENCH_c46d25e (replica speedups 0.93–1.05x vs scalar, where
+// the unidirectional families gain up to 11% at R >= 4 — the
+// turnaround candidate sets make lockstep lanes diverge too much for
+// the SoA slabs to pay), so BMIN points run scalar and skip the
+// ReplicaSet overhead entirely. Size: the node budget above caps the
+// width of large-N groups.
+func laneWidth(net NetworkSpec) int {
+	if net.Kind == topology.BMIN {
+		return 1
+	}
+	nodes := net.Nodes()
+	if nodes <= 0 {
+		return 1
+	}
+	w := laneNodeBudget / nodes
+	switch {
+	case w < 1:
+		return 1
+	case w > maxLanesPerSet:
+		return maxLanesPerSet
+	}
+	return w
+}
 
 // batchKey identifies the plan points that may share one ReplicaSet:
 // everything engine lanes share must be equal — the network, the
@@ -39,12 +74,14 @@ type batchKey struct {
 }
 
 // batchUnits partitions the pending point-runs into scheduling units:
-// spec-described points grouped by batchKey (split at maxLanesPerSet),
-// opaque points as singletons. Units come out in first-appearance
-// order and each unit preserves plan order, so execution results are
-// independent of how the map buckets — every point's result is a pure
-// function of its spec anyway, this just keeps scheduling and
-// progress reporting deterministic.
+// spec-described points grouped by batchKey (split at the network's
+// laneWidth — maxLanesPerSet for paper-scale unidirectional nets,
+// narrower for large-N, singleton for BMIN), opaque points as
+// singletons. Units come out in first-appearance order and each unit
+// preserves plan order, so execution results are independent of how
+// the map buckets — every point's result is a pure function of its
+// spec anyway, this just keeps scheduling and progress reporting
+// deterministic.
 func batchUnits(pending []*pointRun, workers int) [][]*pointRun {
 	var units [][]*pointRun
 	groupOf := map[batchKey]int{}
@@ -61,7 +98,7 @@ func batchUnits(pending []*pointRun, workers int) [][]*pointRun {
 			bufferDepth: r.spec.BufferDepth,
 			arbitration: r.spec.Arbitration,
 		}
-		if gi, ok := groupOf[key]; ok && len(units[gi]) < maxLanesPerSet {
+		if gi, ok := groupOf[key]; ok && len(units[gi]) < laneWidth(key.net) {
 			units[gi] = append(units[gi], r)
 			continue
 		}

@@ -196,6 +196,51 @@ func TestBatchUnits(t *testing.T) {
 	}
 }
 
+// TestLaneWidth pins the per-family/per-size lane heuristic: BMIN
+// points opt out of batching entirely (the replica benchmarks measure
+// lockstep a wash there), paper-scale unidirectional nets batch at
+// the full width, and large-N nets narrow to hold the node budget.
+func TestLaneWidth(t *testing.T) {
+	cases := []struct {
+		name string
+		net  NetworkSpec
+		want int
+	}{
+		{"bmin", NetworkSpec{Kind: topology.BMIN, K: 4, Stages: 3}, 1},
+		{"tmin-64", NetworkSpec{Kind: topology.TMIN, K: 4, Stages: 3}, maxLanesPerSet},
+		{"vmin-64", NetworkSpec{Kind: topology.VMIN, K: 4, Stages: 3, VCs: 2}, maxLanesPerSet},
+		{"tmin-16k", NetworkSpec{Kind: topology.TMIN, K: 2, Stages: 14}, maxLanesPerSet},
+		{"tmin-64k", NetworkSpec{Kind: topology.TMIN, K: 2, Stages: 16}, 4},
+		{"degenerate", NetworkSpec{Kind: topology.TMIN, K: 0, Stages: 0}, 1},
+	}
+	for _, c := range cases {
+		if got := laneWidth(c.net); got != c.want {
+			t.Errorf("%s: laneWidth = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestBatchUnitsBMINSingletons: BMIN replications must come out as
+// singleton units (which the executor runs on scalar engines), even
+// when they share every batch-key field.
+func TestBatchUnitsBMINSingletons(t *testing.T) {
+	var pending []*pointRun
+	for i := 0; i < 6; i++ {
+		r := &pointRun{spec: tinySpec(0.2, uint64(i))}
+		r.spec.Net = NetworkSpec{Kind: topology.BMIN, K: 4, Stages: 3}
+		pending = append(pending, r)
+	}
+	units := batchUnits(pending, 1)
+	if len(units) != len(pending) {
+		t.Fatalf("got %d units for %d BMIN points, want all singletons", len(units), len(pending))
+	}
+	for i, u := range units {
+		if len(u) != 1 {
+			t.Errorf("unit %d has %d lanes, want 1", i, len(u))
+		}
+	}
+}
+
 // TestBatchCancellationMidRun pins the preemption granularity of the
 // batched executor: a batch is up to maxLanesPerSet points fused into
 // one lockstep run, so runBatch must check the context between cycle

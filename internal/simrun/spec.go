@@ -67,6 +67,32 @@ func (s NetworkSpec) Build() (*topology.Network, error) {
 	return nil, fmt.Errorf("simrun: unknown network kind %v", s.Kind)
 }
 
+// Nodes returns K^Stages, the node count of the built network,
+// without constructing the topology — the spec-level size the
+// executor's lane-width heuristic and the large-N benchmark
+// vocabulary key off. Zero or negative geometry returns 0.
+//
+// It is a //simvet:keypath root in its own right: spec-derived
+// quantities must stay pure functions of the spec fields even when
+// (like this one) they feed scheduling rather than the cache key, so
+// batching decisions can never drift on ambient state.
+//
+//simvet:keypath
+func (s NetworkSpec) Nodes() int {
+	if s.K < 2 || s.Stages < 1 {
+		return 0
+	}
+	n := 1
+	//simvet:bounded — Stages is a small constant of the spec
+	for i := 0; i < s.Stages; i++ {
+		if n > (1<<62)/s.K {
+			return 0
+		}
+		n *= s.K
+	}
+	return n
+}
+
 // canon normalizes the spec so that configurations Build treats
 // identically hash identically: family defaults are applied and
 // fields the family ignores are zeroed.

@@ -103,6 +103,46 @@ func (s *Slabs) StepLanes(lanes int) {
 	}
 }
 
+// FactoredRoute mirrors the stage-factored routing representation:
+// candidate channels come from closed-form arithmetic over a few
+// per-stage slices instead of a dense table row, so the whole lookup
+// and its run expansion must stay allocation-free.
+type FactoredRoute struct {
+	layerBase  []int
+	layerShift []int
+	tagShift   []int
+	k          int
+	cand       []int // pooled candidate buffer
+}
+
+// Lookup is the closed-form candidate computation — integer
+// arithmetic and indexing into small resident slices, nothing to
+// flag.
+//
+//simvet:hotpath
+func (f *FactoredRoute) Lookup(layer, wire, dest int) (base, count int) {
+	q := wire &^ (f.k - 1)
+	q |= (dest >> f.tagShift[layer]) & (f.k - 1)
+	return f.layerBase[layer] + q<<f.layerShift[layer], 1 << f.layerShift[layer]
+}
+
+// Expand consumes a lookup run the way the engine's allocate phase
+// does: amortized append onto the pooled buffer is clean, while
+// materializing the same run into a fresh slice is the per-worm
+// allocation the factored path exists to avoid.
+//
+//simvet:hotpath
+func (f *FactoredRoute) Expand(layer, wire, dest int) []int {
+	base, count := f.Lookup(layer, wire, dest)
+	f.cand = f.cand[:0]
+	for c := base; c < base+count; c++ {
+		f.cand = append(f.cand, c) // pooled candidate buffer, accepted
+	}
+	fresh := make([]int, 0, count) // want `make in hot-path function Expand`
+	_ = fresh
+	return f.cand
+}
+
 // tab is package state so route needs no parameters.
 var tab = &Table{off: []int32{0, 0}, arena: nil}
 

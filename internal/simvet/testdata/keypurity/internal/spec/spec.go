@@ -12,3 +12,27 @@ import (
 func EnvSalt(w io.Writer) {
 	w.Write([]byte(os.Getenv("KEYFIX_SALT"))) // want `reads the environment \(os.Getenv\) in key-derivation code`
 }
+
+// Spec mirrors the real module's NetworkSpec: a plain value whose
+// derived quantities are keypath roots in their own right, because
+// they feed scheduling and batching decisions that must be pure
+// functions of the spec fields.
+type Spec struct {
+	K, Stages int
+}
+
+// Nodes is a method root — the analyzer must treat annotated methods
+// exactly like annotated functions, and flag process-state reads in
+// their bodies.
+//
+//simvet:keypath
+func (s Spec) Nodes() int {
+	n := 1
+	for i := 0; i < s.Stages; i++ {
+		n *= s.K
+	}
+	if os.Getenv("KEYFIX_WIDE") != "" { // want `reads the environment \(os.Getenv\) in key-derivation code`
+		n *= 2
+	}
+	return n
+}

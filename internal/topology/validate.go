@@ -50,7 +50,10 @@ func (n *Network) validateChannels() error {
 }
 
 func (n *Network) validateLinks() error {
-	seen := make(map[int]bool, len(n.Channels))
+	// Indexed by channel id: a map here costs hundreds of megabytes
+	// on million-channel large-N networks.
+	seen := make([]bool, len(n.Channels))
+	total := 0
 	for i := range n.Links {
 		l := &n.Links[i]
 		if l.ID != i {
@@ -70,14 +73,15 @@ func (n *Network) validateLinks() error {
 				return fmt.Errorf("channel %d appears on multiple links", c)
 			}
 			seen[c] = true
+			total++
 			// All channels of a physical link share endpoints.
 			if n.Channels[c].From != n.Channels[l.Channels[0]].From || n.Channels[c].To != n.Channels[l.Channels[0]].To {
 				return fmt.Errorf("link %d carries channels with different endpoints", i)
 			}
 		}
 	}
-	if len(seen) != len(n.Channels) {
-		return fmt.Errorf("%d channels assigned to links, want %d", len(seen), len(n.Channels))
+	if total != len(n.Channels) {
+		return fmt.Errorf("%d channels assigned to links, want %d", total, len(n.Channels))
 	}
 	return nil
 }
