@@ -10,6 +10,8 @@
 //
 //	saturate                       # networks x patterns matrix
 //	saturate -measure 120000       # higher fidelity
+//	saturate -adversarial          # + worst-case permutation column
+//	saturate -bursty               # + MMPP and on-off arrival columns
 package main
 
 import (
@@ -27,10 +29,13 @@ import (
 
 func main() {
 	var (
-		warmup  = flag.Int64("warmup", 20000, "warmup cycles per probe")
-		measure = flag.Int64("measure", 60000, "measurement cycles per probe")
-		seed    = flag.Uint64("seed", 1995, "random seed")
-		tol     = flag.Float64("tol", 0.02, "load bisection resolution")
+		warmup      = flag.Int64("warmup", 20000, "warmup cycles per probe")
+		measure     = flag.Int64("measure", 60000, "measurement cycles per probe")
+		seed        = flag.Uint64("seed", 1995, "random seed")
+		tol         = flag.Float64("tol", 0.02, "load bisection resolution")
+		adversarial = flag.Bool("adversarial", false, "add a worst-case-permutation column (hill-climb search per network)")
+		advIters    = flag.Int("adviters", 0, "adversarial search iterations (0 = default)")
+		bursty      = flag.Bool("bursty", false, "add bursty-arrival columns (uniform pattern under MMPP and on-off)")
 	)
 	flag.Parse()
 
@@ -39,6 +44,24 @@ func main() {
 
 	networks := experiments.PaperSpecs()
 	patterns := experiments.StandardWorkloads()
+	if *adversarial {
+		patterns = append(patterns, experiments.NamedWorkload{
+			Name: "adversarial",
+			Work: experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.Adversarial, AdvIters: *advIters}},
+		})
+	}
+	if *bursty {
+		patterns = append(patterns,
+			experiments.NamedWorkload{
+				Name: "uni-mmpp",
+				Work: experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.Uniform}, Arrival: experiments.BurstyMMPP},
+			},
+			experiments.NamedWorkload{
+				Name: "uni-onoff",
+				Work: experiments.WorkloadSpec{Cluster: experiments.Global, Pattern: experiments.PatternSpec{Kind: experiments.Uniform}, Arrival: experiments.BurstyOnOff},
+			},
+		)
+	}
 
 	fmt.Println("maximum sustainable offered load (flits/node/cycle), bisected")
 	fmt.Printf("%-16s", "")

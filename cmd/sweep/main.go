@@ -13,6 +13,8 @@
 //
 //	sweep -net bmin -pattern uniform -from 0.05 -to 0.9 -points 12
 //	sweep -net vmin -vcs 4 -pattern hotspot -hotx 0.1 -csv
+//	sweep -net tmin -arrival mmpp -burst 8            # bursty arrivals
+//	sweep -net tmin -pattern adversarial              # worst-case permutation
 //	sweep -net bmin -cpuprofile cpu.out -memprofile mem.out   # profile the hot path
 package main
 
@@ -38,12 +40,17 @@ func main() {
 		dil     = flag.Int("dilation", 2, "DMIN dilation")
 		vcs     = flag.Int("vcs", 2, "VMIN virtual channels")
 
-		pattern = flag.String("pattern", "uniform", "traffic: uniform, hotspot, shuffle, butterfly, or a named permutation")
-		scope   = flag.String("scope", "global", "clustering: global, cluster16, shared, cluster32")
-		hotX    = flag.Float64("hotx", 0.05, "hot spot extra fraction")
-		bfi     = flag.Int("bfi", 2, "butterfly permutation index")
-		minLen  = flag.Int("minlen", 8, "minimum message length")
-		maxLen  = flag.Int("maxlen", 1024, "maximum message length")
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform, hotspot, shuffle, butterfly, adversarial, or a named permutation")
+		scope    = flag.String("scope", "global", "clustering: global, cluster16, shared, cluster32")
+		hotX     = flag.Float64("hotx", 0.05, "hot spot extra fraction")
+		bfi      = flag.Int("bfi", 2, "butterfly permutation index")
+		advIters = flag.Int("adviters", 0, "adversarial pattern search iterations (0 = default)")
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson, mmpp, onoff")
+		burst    = flag.Float64("burst", 8, "mmpp high/low rate ratio")
+		dwellHi  = flag.Float64("dwellhi", 500, "mmpp high-phase / onoff ON mean dwell (cycles)")
+		dwellLo  = flag.Float64("dwelllo", 2000, "mmpp low-phase / onoff OFF mean dwell (cycles)")
+		minLen   = flag.Int("minlen", 8, "minimum message length")
+		maxLen   = flag.Int("maxlen", 1024, "maximum message length")
 
 		from     = flag.Float64("from", 0.05, "first offered load")
 		to       = flag.Float64("to", 0.9, "last offered load")
@@ -75,6 +82,7 @@ func main() {
 	}
 	work, err := experiments.ParseWorkloadSpec(experiments.WorkloadOptions{
 		Cluster: *scope, Pattern: *pattern, HotX: *hotX, ButterflyI: *bfi,
+		AdvIters: *advIters, Arrival: *arrival, Burst: *burst, DwellHi: *dwellHi, DwellLo: *dwellLo,
 		MinLen: *minLen, MaxLen: *maxLen,
 	})
 	if err != nil {
@@ -139,7 +147,7 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("%s, %s/%s\n", spec, *pattern, *scope)
+	fmt.Printf("%s, %s\n", spec, work)
 	if *replicas > 1 {
 		fmt.Printf("%-10s %-12s %-14s %-22s %-12s %s\n", "offered", "throughput", "latency(cyc)", "95% CI(cyc)", "latency(ms)", "sustainable")
 		for _, r := range res {

@@ -30,6 +30,10 @@ type (
 	PatternSpec = simrun.PatternSpec
 	// PatternKind enumerates the traffic patterns.
 	PatternKind = simrun.PatternKind
+	// ArrivalSpec names an interarrival process.
+	ArrivalSpec = simrun.ArrivalSpec
+	// ArrivalKind enumerates the arrival processes.
+	ArrivalKind = simrun.ArrivalKind
 	// Budget sets the simulation effort per point.
 	Budget = simrun.Budget
 )
@@ -42,13 +46,33 @@ const (
 	Cluster32       = simrun.Cluster32
 )
 
-// The paper's traffic patterns plus named classic permutations.
+// The paper's traffic patterns plus named classic permutations, trace
+// replay and the adversarial worst-case permutation search.
 const (
 	Uniform       = simrun.Uniform
 	HotSpot       = simrun.HotSpot
 	ShufflePerm   = simrun.ShufflePerm
 	ButterflyPerm = simrun.ButterflyPerm
 	NamedPerm     = simrun.NamedPerm
+	TraceReplay   = simrun.TraceReplay
+	Adversarial   = simrun.Adversarial
+)
+
+// The arrival processes: the paper's Poisson stream plus the bursty
+// extensions.
+const (
+	ArrivalExponential = simrun.ArrivalExponential
+	ArrivalMMPP        = simrun.ArrivalMMPP
+	ArrivalOnOff       = simrun.ArrivalOnOff
+)
+
+// Paper-faithful bursty arrival presets: both preserve the configured
+// mean rate, so saturation loads stay comparable with the Poisson
+// rows. BurstyMMPP spends most of its time in a low-rate background
+// phase with 8x-rate bursts; BurstyOnOff fires with a 1:3 duty cycle.
+var (
+	BurstyMMPP  = ArrivalSpec{Kind: ArrivalMMPP, Burst: 8, DwellHi: 500, DwellLo: 2000}
+	BurstyOnOff = ArrivalSpec{Kind: ArrivalOnOff, DwellHi: 500, DwellLo: 1500}
 )
 
 // Paper-standard network specs (Section 5).

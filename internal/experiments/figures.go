@@ -302,6 +302,40 @@ func Extensions() []Experiment {
 			Loads:  hotspotLoads,
 			Curves: fourNetworks(WorkloadSpec{Cluster: Cluster16, Pattern: PatternSpec{Kind: HotSpot, HotX: 0.05}}),
 		},
+		{
+			ID:     "ext-bursty-tmin",
+			Title:  "TMIN under Poisson, MMPP and on-off arrivals, global uniform (ROADMAP: bursty traffic)",
+			Expect: "same mean load and unchanged capacity, but burstiness inflates pre-saturation latency",
+			Loads:  uniformLoads,
+			Curves: []Curve{
+				{Label: "TMIN poisson", Net: TMINCube, Work: uniformWork(Global)},
+				{Label: "TMIN mmpp x8", Net: TMINCube, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}, Arrival: BurstyMMPP}},
+				{Label: "TMIN on-off 1:3", Net: TMINCube, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}, Arrival: BurstyOnOff}},
+			},
+		},
+		{
+			ID:     "ext-bursty-bmin",
+			Title:  "BMIN under Poisson, MMPP and on-off arrivals, global uniform (ROADMAP: bursty traffic)",
+			Expect: "turnaround networks see the same pre-saturation latency inflation; capacity and ordering hold",
+			Loads:  uniformLoads,
+			Curves: []Curve{
+				{Label: "BMIN poisson", Net: BMINButterfly, Work: uniformWork(Global)},
+				{Label: "BMIN mmpp x8", Net: BMINButterfly, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}, Arrival: BurstyMMPP}},
+				{Label: "BMIN on-off 1:3", Net: BMINButterfly, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Uniform}, Arrival: BurstyOnOff}},
+			},
+		},
+		{
+			ID:     "ext-adversarial",
+			Title:  "TMIN vs DMIN vs BMIN under the searched worst-case permutation (ROADMAP: adversarial patterns)",
+			Expect: "hill-climbed permutation saturates the TMIN below the shuffle; multipath networks shrug it off",
+			Loads:  permutationLoads,
+			Curves: []Curve{
+				{Label: "TMIN adversarial", Net: TMINCube, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Adversarial}}},
+				{Label: "DMIN adversarial", Net: DMINCube, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Adversarial}}},
+				{Label: "BMIN adversarial", Net: BMINButterfly, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: Adversarial}}},
+				{Label: "TMIN shuffle (reference)", Net: TMINCube, Work: WorkloadSpec{Cluster: Global, Pattern: PatternSpec{Kind: ShufflePerm}}},
+			},
+		},
 	}
 }
 

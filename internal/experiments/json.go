@@ -37,10 +37,14 @@ import (
 // Network kinds: tmin, dmin, vmin, bmin. Wirings: cube (default),
 // butterfly, omega, baseline. Clusters: global (default), cluster-16,
 // cluster-16-shared, cluster-32. Patterns: uniform (default),
-// hotspot, shuffle, butterfly (with "butterflyi"), or any name from
-// traffic.PatternByName (bitreverse, complement, transpose, tornado,
-// neighbor).
+// hotspot, shuffle, butterfly (with "butterflyi"), trace (with
+// "trace": [{"src":0,"dst":1}, ...]), adversarial (with optional
+// "adviters"), or any name from traffic.PatternByName (bitreverse,
+// complement, transpose, tornado, neighbor). Arrivals: poisson
+// (default), mmpp (with "burst", "dwellhi", "dwelllo"), onoff (with
+// "dwellhi" = mean ON cycles, "dwelllo" = mean OFF cycles).
 
+//simvet:wire — the experiment definition accepted by simd job requests.
 type jsonExperiment struct {
 	ID     string      `json:"id"`
 	Title  string      `json:"title"`
@@ -49,6 +53,7 @@ type jsonExperiment struct {
 	Curves []jsonCurve `json:"curves"`
 }
 
+//simvet:wire
 type jsonCurve struct {
 	Label       string          `json:"label"`
 	Network     NetworkOptions  `json:"network"`
@@ -59,6 +64,8 @@ type jsonCurve struct {
 // NetworkOptions is the string-keyed network description shared by the
 // JSON experiment schema and the CLI flag sets (cmd/sweep); parse it
 // with ParseNetworkSpec.
+//
+//simvet:wire
 type NetworkOptions struct {
 	Kind     string `json:"kind"`
 	Wiring   string `json:"wiring"`
@@ -72,14 +79,22 @@ type NetworkOptions struct {
 // WorkloadOptions is the string-keyed workload description shared by
 // the JSON experiment schema and the CLI flag sets; parse it with
 // ParseWorkloadSpec.
+//
+//simvet:wire
 type WorkloadOptions struct {
-	Cluster    string    `json:"cluster"`
-	Pattern    string    `json:"pattern"`
-	HotX       float64   `json:"hotx"`
-	ButterflyI int       `json:"butterflyi"`
-	Ratios     []float64 `json:"ratios"`
-	MinLen     int       `json:"minlen"`
-	MaxLen     int       `json:"maxlen"`
+	Cluster    string         `json:"cluster"`
+	Pattern    string         `json:"pattern"`
+	HotX       float64        `json:"hotx"`
+	ButterflyI int            `json:"butterflyi"`
+	Trace      []traffic.Pair `json:"trace,omitempty"`
+	AdvIters   int            `json:"adviters,omitempty"`
+	Arrival    string         `json:"arrival,omitempty"`
+	Burst      float64        `json:"burst,omitempty"`
+	DwellHi    float64        `json:"dwellhi,omitempty"`
+	DwellLo    float64        `json:"dwelllo,omitempty"`
+	Ratios     []float64      `json:"ratios"`
+	MinLen     int            `json:"minlen"`
+	MaxLen     int            `json:"maxlen"`
 }
 
 // ParseJSON decodes a JSON experiment definition.
@@ -203,10 +218,24 @@ func ParseWorkloadSpec(jw WorkloadOptions) (WorkloadSpec, error) {
 		w.Pattern = PatternSpec{Kind: ShufflePerm}
 	case "butterfly":
 		w.Pattern = PatternSpec{Kind: ButterflyPerm, Butterfly: jw.ButterflyI}
+	case "trace":
+		w.Pattern = PatternSpec{Kind: TraceReplay, Trace: jw.Trace}
+	case "adversarial":
+		w.Pattern = PatternSpec{Kind: Adversarial, AdvIters: jw.AdvIters}
 	default:
 		// Named classic permutations are validated when the factory
 		// first runs; reject obviously empty names here.
 		w.Pattern = PatternSpec{Kind: NamedPerm, Name: jw.Pattern}
+	}
+	switch strings.ToLower(jw.Arrival) {
+	case "poisson", "exponential", "":
+		w.Arrival = ArrivalSpec{Kind: ArrivalExponential}
+	case "mmpp":
+		w.Arrival = ArrivalSpec{Kind: ArrivalMMPP, Burst: jw.Burst, DwellHi: jw.DwellHi, DwellLo: jw.DwellLo}
+	case "onoff", "on-off":
+		w.Arrival = ArrivalSpec{Kind: ArrivalOnOff, DwellHi: jw.DwellHi, DwellLo: jw.DwellLo}
+	default:
+		return w, fmt.Errorf("unknown arrival process %q", jw.Arrival)
 	}
 	w.Ratios = jw.Ratios
 	if jw.MinLen != 0 || jw.MaxLen != 0 {
@@ -218,6 +247,11 @@ func ParseWorkloadSpec(jw WorkloadOptions) (WorkloadSpec, error) {
 			return w, fmt.Errorf("bad length range [%d, %d]", jw.MinLen, jw.MaxLen)
 		}
 		w.Lengths = traffic.UniformLen{Min: min, Max: max}
+	}
+	// Pattern and arrival parameters fail here, at parse time, rather
+	// than deep inside the first factory call.
+	if err := w.Validate(); err != nil {
+		return w, err
 	}
 	return w, nil
 }

@@ -95,10 +95,71 @@ func TestParseJSONErrors(t *testing.T) {
 		"bad lengths":    `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"minlen":10,"maxlen":5}}]}`,
 		"bad depth":      `{"id":"x","loads":[0.1],"curves":[{"label":"a","bufferdepth":-1}]}`,
 		"bad k":          `{"id":"x","loads":[0.1],"curves":[{"label":"a","network":{"k":3}}]}`,
+		"bad arrival":    `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"arrival":"fractal"}}]}`,
+		"bad mmpp":       `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"arrival":"mmpp","burst":0.5,"dwellhi":100,"dwelllo":100}}]}`,
+		"bad onoff":      `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"arrival":"onoff","dwellhi":0,"dwelllo":100}}]}`,
+		"empty trace":    `{"id":"x","loads":[0.1],"curves":[{"label":"a","workload":{"pattern":"trace"}}]}`,
 	}
 	for name, j := range bad {
 		if _, err := ParseJSON([]byte(j)); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestParseJSONNewKinds: the bursty arrivals and the trace/adversarial
+// patterns parse from JSON and run end-to-end through the plan layer —
+// the same path the simd server's job handler takes.
+func TestParseJSONNewKinds(t *testing.T) {
+	const burstyJSON = `{
+	  "id": "bursty-1",
+	  "loads": [0.15],
+	  "curves": [
+	    {
+	      "label": "mmpp",
+	      "network": {"kind": "tmin", "stages": 2},
+	      "workload": {"arrival": "mmpp", "burst": 8, "dwellhi": 200, "dwelllo": 800, "minlen": 8, "maxlen": 16}
+	    },
+	    {
+	      "label": "onoff",
+	      "network": {"kind": "tmin", "stages": 2},
+	      "workload": {"arrival": "onoff", "dwellhi": 200, "dwelllo": 600, "minlen": 8, "maxlen": 16}
+	    },
+	    {
+	      "label": "trace",
+	      "network": {"kind": "tmin", "stages": 2},
+	      "workload": {"pattern": "trace", "trace": [{"src":0,"dst":5},{"src":3,"dst":9},{"src":0,"dst":2}], "minlen": 8, "maxlen": 16}
+	    },
+	    {
+	      "label": "adversarial",
+	      "network": {"kind": "tmin", "stages": 2},
+	      "workload": {"pattern": "adversarial", "adviters": 256, "minlen": 8, "maxlen": 16}
+	    }
+	  ]
+	}`
+	e, err := ParseJSON([]byte(burstyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Curves[0].Work.Arrival.Kind != ArrivalMMPP || e.Curves[0].Work.Arrival.Burst != 8 {
+		t.Errorf("mmpp arrival wrong: %+v", e.Curves[0].Work.Arrival)
+	}
+	if e.Curves[1].Work.Arrival.Kind != ArrivalOnOff {
+		t.Errorf("onoff arrival wrong: %+v", e.Curves[1].Work.Arrival)
+	}
+	if e.Curves[2].Work.Pattern.Kind != TraceReplay || len(e.Curves[2].Work.Pattern.Trace) != 3 {
+		t.Errorf("trace pattern wrong: %+v", e.Curves[2].Work.Pattern)
+	}
+	if e.Curves[3].Work.Pattern.Kind != Adversarial || e.Curves[3].Work.Pattern.AdvIters != 256 {
+		t.Errorf("adversarial pattern wrong: %+v", e.Curves[3].Work.Pattern)
+	}
+	fig, err := e.Run(Budget{WarmupCycles: 500, MeasureCycles: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Points[0].Messages == 0 {
+			t.Errorf("%s measured nothing", s.Label)
 		}
 	}
 }

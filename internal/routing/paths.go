@@ -53,6 +53,7 @@ func AllPaths(net *topology.Network, r Router, src, dst int) []Path {
 // tests.
 func OnePath(net *topology.Network, r Router, src, dst int) Path {
 	p := Path{net.Inject[src]}
+	//simvet:bounded — each step moves toward the destination; the walk ends at the ejection channel after at most a few stages
 	for {
 		last := &net.Channels[p[len(p)-1]]
 		if last.To.IsNode() {

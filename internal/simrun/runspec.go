@@ -62,8 +62,33 @@ func (r RunSpec) Key() (string, error) {
 	n := r.Net.canon()
 	fmt.Fprintf(h, "net %d %d %d %d %d %d %d\n", int(n.Kind), int(n.Pattern), n.K, n.Stages, n.Dilation, n.VCs, n.Extra)
 
-	p := r.Work.Pattern.canon()
+	p, err := r.Work.Pattern.canon()
+	if err != nil {
+		return "", err
+	}
 	fmt.Fprintf(h, "work %d %d %x %d %q\n", int(r.Work.Cluster), int(p.Kind), math.Float64bits(p.HotX), p.Butterfly, p.Name)
+	// The trace, adv and arrival lines exist only for the kinds that
+	// use them: every spec expressible before those kinds existed still
+	// produces the exact byte stream it always did, so the warm cache
+	// survives the schema opening without a version bump.
+	if p.Kind == TraceReplay {
+		fmt.Fprintf(h, "trace %d", len(p.Trace))
+		for _, pr := range p.Trace {
+			fmt.Fprintf(h, " %d:%d", pr.Src, pr.Dst)
+		}
+		fmt.Fprintln(h)
+	}
+	if p.Kind == Adversarial {
+		fmt.Fprintf(h, "adv %d\n", p.AdvIters)
+	}
+	a, err := r.Work.Arrival.canon()
+	if err != nil {
+		return "", err
+	}
+	if a.Kind != ArrivalExponential {
+		fmt.Fprintf(h, "arrival %d %x %x %x\n", int(a.Kind),
+			math.Float64bits(a.Burst), math.Float64bits(a.DwellHi), math.Float64bits(a.DwellLo))
+	}
 	fmt.Fprintf(h, "ratios %d", len(r.Work.Ratios))
 	for _, v := range r.Work.Ratios {
 		fmt.Fprintf(h, " %x", math.Float64bits(v))

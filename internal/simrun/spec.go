@@ -20,6 +20,7 @@ import (
 
 	"minsim/internal/engine"
 	"minsim/internal/kary"
+	"minsim/internal/routing"
 	"minsim/internal/topology"
 	"minsim/internal/traffic"
 )
@@ -182,13 +183,16 @@ func (c ClusterSpec) clustering(r kary.Radix) traffic.Clustering {
 // PatternSpec names a destination pattern.
 type PatternSpec struct {
 	Kind      PatternKind
-	HotX      float64 // HotSpot: extra fraction (0.05 = "5% more")
-	Butterfly int     // ButterflyPerm: permutation index i
-	Name      string  // NamedPerm: traffic.PatternByName name
+	HotX      float64        // HotSpot: extra fraction (0.05 = "5% more")
+	Butterfly int            // ButterflyPerm: permutation index i
+	Name      string         // NamedPerm: traffic.PatternByName name
+	Trace     []traffic.Pair // TraceReplay: recorded src→dst pairs
+	AdvIters  int            // Adversarial: search iterations (0 = 4096)
 }
 
-// PatternKind enumerates the paper's four traffic patterns plus the
-// named classic permutations of traffic.PatternByName.
+// PatternKind enumerates the paper's four traffic patterns, the named
+// classic permutations of traffic.PatternByName, trace replay, and
+// the adversarial worst-case permutation search.
 type PatternKind int
 
 // Pattern kinds.
@@ -198,6 +202,17 @@ const (
 	ShufflePerm
 	ButterflyPerm
 	NamedPerm
+	TraceReplay
+	Adversarial
+)
+
+// defaultAdvIters is the hill-climb budget when PatternSpec.AdvIters
+// is zero; advSearchSeed makes the search a pure function of the spec
+// and the network, so the resolved permutation can never drift
+// between the run that writes a cache entry and the run that reads it.
+const (
+	defaultAdvIters = 4096
+	advSearchSeed   = 0x5eeded1
 )
 
 // String returns the human-readable name.
@@ -213,30 +228,143 @@ func (p PatternSpec) String() string {
 		return fmt.Sprintf("butterfly-%d", p.Butterfly)
 	case NamedPerm:
 		return p.Name
+	case TraceReplay:
+		return fmt.Sprintf("trace-%d", len(p.Trace))
+	case Adversarial:
+		c, _ := p.canon()
+		return fmt.Sprintf("adversarial-%d", c.AdvIters)
 	}
 	return fmt.Sprintf("PatternSpec(%d)", int(p.Kind))
 }
 
-// canon zeroes the parameters the pattern kind ignores, so equivalent
-// specs hash identically.
-func (p PatternSpec) canon() PatternSpec {
+// canon zeroes the parameters the pattern kind ignores and applies
+// kind defaults, so equivalent specs hash identically. An unknown
+// kind is an error — passing it through un-canonicalized would hash
+// whatever stray parameters it carries, i.e. a typo'd kind would get
+// an unstable key instead of a diagnosis.
+func (p PatternSpec) canon() (PatternSpec, error) {
 	switch p.Kind {
 	case Uniform, ShufflePerm:
-		return PatternSpec{Kind: p.Kind}
+		return PatternSpec{Kind: p.Kind}, nil
 	case HotSpot:
-		return PatternSpec{Kind: p.Kind, HotX: p.HotX}
+		return PatternSpec{Kind: p.Kind, HotX: p.HotX}, nil
 	case ButterflyPerm:
-		return PatternSpec{Kind: p.Kind, Butterfly: p.Butterfly}
+		return PatternSpec{Kind: p.Kind, Butterfly: p.Butterfly}, nil
 	case NamedPerm:
-		return PatternSpec{Kind: p.Kind, Name: p.Name}
+		return PatternSpec{Kind: p.Kind, Name: p.Name}, nil
+	case TraceReplay:
+		return PatternSpec{Kind: p.Kind, Trace: p.Trace}, nil
+	case Adversarial:
+		c := PatternSpec{Kind: p.Kind, AdvIters: p.AdvIters}
+		if c.AdvIters == 0 {
+			c.AdvIters = defaultAdvIters
+		}
+		return c, nil
 	}
-	return p
+	return p, fmt.Errorf("simrun: unknown pattern kind %d", int(p.Kind))
 }
 
-// WorkloadSpec is a complete traffic description.
+// Validate reports whether the pattern spec names a known kind with
+// usable parameters. Spec parsers call it so a bad pattern fails at
+// parse time, not deep inside a factory.
+func (p PatternSpec) Validate() error {
+	c, err := p.canon()
+	if err != nil {
+		return err
+	}
+	if c.Kind == TraceReplay && len(c.Trace) == 0 {
+		return fmt.Errorf("simrun: trace pattern with no recorded pairs")
+	}
+	if c.Kind == Adversarial && c.AdvIters < 0 {
+		return fmt.Errorf("simrun: adversarial pattern with negative iterations %d", p.AdvIters)
+	}
+	return nil
+}
+
+// ArrivalSpec names an interarrival process. The zero value is the
+// paper's Poisson stream. For MMPP, DwellHi/DwellLo are the mean
+// cycles in the high- and low-rate phases and Burst the rate ratio;
+// for OnOff, DwellHi is the mean ON dwell and DwellLo the mean OFF
+// dwell (Burst is ignored).
+type ArrivalSpec struct {
+	Kind    ArrivalKind
+	Burst   float64
+	DwellHi float64
+	DwellLo float64
+}
+
+// ArrivalKind enumerates the arrival processes of package traffic.
+type ArrivalKind int
+
+// Arrival kinds.
+const (
+	ArrivalExponential ArrivalKind = iota
+	ArrivalMMPP
+	ArrivalOnOff
+)
+
+// String returns the human-readable name.
+func (a ArrivalSpec) String() string {
+	switch a.Kind {
+	case ArrivalExponential:
+		return "poisson"
+	case ArrivalMMPP:
+		return fmt.Sprintf("mmpp-b%g-d%g/%g", a.Burst, a.DwellHi, a.DwellLo)
+	case ArrivalOnOff:
+		return fmt.Sprintf("onoff-d%g/%g", a.DwellHi, a.DwellLo)
+	}
+	return fmt.Sprintf("ArrivalSpec(%d)", int(a.Kind))
+}
+
+// canon zeroes the parameters the kind ignores, so equivalent specs
+// hash identically; unknown kinds are an error, as for patterns.
+func (a ArrivalSpec) canon() (ArrivalSpec, error) {
+	switch a.Kind {
+	case ArrivalExponential:
+		return ArrivalSpec{}, nil
+	case ArrivalMMPP:
+		return ArrivalSpec{Kind: a.Kind, Burst: a.Burst, DwellHi: a.DwellHi, DwellLo: a.DwellLo}, nil
+	case ArrivalOnOff:
+		return ArrivalSpec{Kind: a.Kind, DwellHi: a.DwellHi, DwellLo: a.DwellLo}, nil
+	}
+	return a, fmt.Errorf("simrun: unknown arrival kind %d", int(a.Kind))
+}
+
+// process materializes the traffic.ArrivalProcess, validating the
+// parameters.
+func (a ArrivalSpec) process() (traffic.ArrivalProcess, error) {
+	c, err := a.canon()
+	if err != nil {
+		return nil, err
+	}
+	var p traffic.ArrivalProcess
+	switch c.Kind {
+	case ArrivalExponential:
+		p = traffic.Exponential{}
+	case ArrivalMMPP:
+		p = traffic.MMPP2{Burst: c.Burst, DwellHi: c.DwellHi, DwellLo: c.DwellLo}
+	case ArrivalOnOff:
+		p = traffic.OnOff{DwellOn: c.DwellHi, DwellOff: c.DwellLo}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate reports whether the arrival spec names a known process
+// with usable parameters.
+func (a ArrivalSpec) Validate() error {
+	_, err := a.process()
+	return err
+}
+
+// WorkloadSpec is a complete traffic description: who sends to whom
+// (Cluster, Pattern, Ratios), when (Arrival), and how much (Lengths).
 type WorkloadSpec struct {
 	Cluster ClusterSpec
 	Pattern PatternSpec
+	Arrival ArrivalSpec        // zero value = the paper's Poisson stream
 	Ratios  []float64          // per-cluster load ratios (nil = equal)
 	Lengths traffic.LengthDist // nil = paper's U{8..1024}
 }
@@ -244,37 +372,70 @@ type WorkloadSpec struct {
 // String returns the human-readable name.
 func (w WorkloadSpec) String() string {
 	s := fmt.Sprintf("%s %s", w.Cluster, w.Pattern)
+	if w.Arrival.Kind != ArrivalExponential {
+		s += " " + w.Arrival.String()
+	}
 	if w.Ratios != nil {
 		s += fmt.Sprintf(" ratios %v", w.Ratios)
 	}
 	return s
 }
 
+// Validate reports whether the workload's pattern and arrival specs
+// are well-formed. Parsers call it so malformed specs fail before any
+// plan is built.
+func (w WorkloadSpec) Validate() error {
+	if err := w.Pattern.Validate(); err != nil {
+		return err
+	}
+	return w.Arrival.Validate()
+}
+
 // Factory returns a SourceFactory realizing the workload on the given
-// network.
+// network. Stateless patterns are built once and shared across the
+// factory's invocations; the trace pattern carries replay cursors, so
+// a fresh one is built per invocation (each engine of a replica batch
+// must own its own cursors). The adversarial pattern resolves here —
+// deterministically, from the spec and the network alone — to the
+// worst permutation routing.WorstPermutation finds.
 func (w WorkloadSpec) Factory(net *topology.Network) SourceFactory {
 	lengths := w.Lengths
 	if lengths == nil {
 		lengths = traffic.PaperLengths
 	}
 	c := w.Cluster.clustering(net.R)
+	arrival, arrErr := w.Arrival.process()
 	var pattern traffic.Pattern
-	var patErr error
-	switch w.Pattern.Kind {
-	case Uniform:
-		pattern = traffic.Uniform{C: c}
-	case HotSpot:
-		pattern = traffic.HotSpot{C: c, X: w.Pattern.HotX}
-	case ShufflePerm:
-		pattern = traffic.ShufflePattern(net.R)
-	case ButterflyPerm:
-		pattern = traffic.ButterflyPattern(net.R, w.Pattern.Butterfly)
-	case NamedPerm:
-		pattern, patErr = traffic.PatternByName(w.Pattern.Name, net.R, c)
+	patErr := w.Pattern.Validate()
+	newPattern := func() (traffic.Pattern, error) { return pattern, patErr }
+	if patErr == nil {
+		switch w.Pattern.Kind {
+		case Uniform:
+			pattern = traffic.Uniform{C: c}
+		case HotSpot:
+			pattern = traffic.HotSpot{C: c, X: w.Pattern.HotX}
+		case ShufflePerm:
+			pattern = traffic.ShufflePattern(net.R)
+		case ButterflyPerm:
+			pattern = traffic.ButterflyPattern(net.R, w.Pattern.Butterfly)
+		case NamedPerm:
+			pattern, patErr = traffic.PatternByName(w.Pattern.Name, net.R, c)
+		case TraceReplay:
+			pairs := w.Pattern.Trace
+			newPattern = func() (traffic.Pattern, error) { return traffic.NewTracePattern(net.Nodes, pairs) }
+		case Adversarial:
+			spec, _ := w.Pattern.canon()
+			perm, _ := routing.WorstPermutation(net, routing.New(net), advSearchSeed, spec.AdvIters)
+			pattern = traffic.Permutation{P: perm}
+		}
 	}
 	return func(load float64, seed uint64) (engine.Source, error) {
-		if patErr != nil {
-			return nil, patErr
+		if arrErr != nil {
+			return nil, arrErr
+		}
+		pat, err := newPattern()
+		if err != nil {
+			return nil, err
 		}
 		rates, err := traffic.NodeRates(c, load, lengths.Mean(), w.Ratios)
 		if err != nil {
@@ -282,8 +443,9 @@ func (w WorkloadSpec) Factory(net *topology.Network) SourceFactory {
 		}
 		return traffic.NewWorkload(traffic.Config{
 			Nodes:   net.Nodes,
-			Pattern: pattern,
+			Pattern: pat,
 			Lengths: lengths,
+			Arrival: arrival,
 			Rates:   rates,
 			Seed:    seed,
 		})

@@ -1,0 +1,36 @@
+// Package traffic mirrors the real module's arrival-process layer: the
+// modulated gap draws feed every per-node offered-load stream, so each
+// piece of randomness must come from the seeded xrand source the
+// engine hands in — stdlib jitter or a wall-clock dwell would make the
+// bursty workloads irreproducible.
+package traffic
+
+import (
+	mrand "math/rand" // want `import of math/rand in deterministic package`
+	"time"
+
+	"detfix/internal/xrand"
+)
+
+// ArrivalState is the per-node modulation state.
+type ArrivalState struct {
+	Phase  int
+	Remain float64
+}
+
+// MMPP2 is a toy two-state modulated arrival process.
+type MMPP2 struct{ Burst float64 }
+
+// NextGap draws the next inter-arrival gap. The xrand draws are the
+// sanctioned path; the global jitter and the wall-clock phase reset
+// are the exact bugs detrand exists to catch in this layer.
+func (m MMPP2) NextGap(st *ArrivalState, rate float64, rng *xrand.Source) float64 {
+	if st.Remain <= 0 {
+		st.Phase = 1 - st.Phase
+		st.Remain = rng.Exp(500)
+	}
+	gap := rng.Exp(1 / rate)
+	gap += mrand.Float64() * m.Burst
+	st.Remain -= float64(time.Now().Unix()) // want `time.Now in deterministic package`
+	return gap
+}

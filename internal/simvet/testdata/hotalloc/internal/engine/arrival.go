@@ -1,0 +1,32 @@
+// Arrival mirrors the traffic layer's modulated gap draw: the phase
+// flip and the gap arithmetic run once per generated message, so the
+// path must stay allocation-free — pooled state only.
+package engine
+
+import "fmt"
+
+// Arrival is a toy two-state arrival process with resident state.
+type Arrival struct {
+	phase  int
+	remain float64
+	gaps   []float64 // pooled history buffer
+}
+
+// NextGap is the per-message root: pure arithmetic and amortized
+// appends onto resident state are clean; a fresh histogram buffer or
+// a formatted phase label is a per-message allocation.
+//
+//simvet:hotpath
+func (a *Arrival) NextGap(rate float64) float64 {
+	if a.remain <= 0 {
+		a.phase = 1 - a.phase
+		a.remain = 500
+	}
+	gap := 1 / rate
+	a.remain -= gap
+	a.gaps = append(a.gaps, gap) // amortized append onto pooled state, accepted
+	hist := make([]float64, 4)   // want `make in hot-path function NextGap`
+	_ = hist
+	_ = fmt.Sprintf("phase=%d", a.phase) // want `fmt.Sprintf in hot-path function NextGap`
+	return gap
+}

@@ -1,0 +1,25 @@
+// ArrivalSpec mirrors the real module's arrival axis: its canonical
+// form is hashed into the content key, so canonicalization is a
+// keypath root in its own right and must encode floats by bit
+// pattern, never through the default verbs.
+package spec
+
+import "fmt"
+
+// ArrivalSpec is a toy arrival-process spec.
+type ArrivalSpec struct {
+	Kind  int
+	Burst float64
+}
+
+// Canon folds default spellings together before hashing. The %v on
+// Burst is the float-encoding bug keypurity exists to catch on this
+// path.
+//
+//simvet:keypath
+func (a ArrivalSpec) Canon() string {
+	if a.Kind == 0 {
+		return ""
+	}
+	return fmt.Sprintf("arrival %d %v", a.Kind, a.Burst) // want `%v on float64 in key-derivation code`
+}

@@ -1,0 +1,197 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"minsim/internal/xrand"
+)
+
+// ArrivalProcess generates the interarrival structure of one node's
+// message stream. Implementations are immutable parameter sets shared
+// by every node of a Workload; all mutable per-node stream state lives
+// in an ArrivalState value owned by the Workload, so drawing the next
+// gap allocates nothing and each node's stream is an independent,
+// reproducible function of its own PRNG.
+//
+// The contract every implementation must honor: for a node whose mean
+// rate is `rate` messages/cycle, the long-run average of the gaps
+// returned by NextGap is 1/rate. Offered load therefore means the same
+// thing under every process — bursty processes redistribute the same
+// mean across time, they do not add traffic — so saturation loads stay
+// comparable across processes.
+type ArrivalProcess interface {
+	// Start returns the initial stream state for one node. Processes
+	// with modulation phases may draw from rng to randomize the initial
+	// phase; the memoryless Exponential draws nothing, which keeps its
+	// streams byte-identical to the pre-abstraction workload.
+	Start(rng *xrand.Source) ArrivalState
+	// NextGap advances the stream by one arrival: it returns the time
+	// from the previous arrival to the next one for a node with mean
+	// rate `rate` (messages/cycle), updating st in place. rate > 0.
+	NextGap(st *ArrivalState, rate float64, rng *xrand.Source) float64
+	// Validate reports whether the process parameters are usable.
+	Validate() error
+}
+
+// ArrivalState is the per-node stream state of an arrival process: a
+// modulation phase index and the time remaining in that phase,
+// measured from the last emitted arrival. It is a plain value so the
+// Workload can embed one per node with no per-draw allocation.
+type ArrivalState struct {
+	Phase  int     // current modulation phase
+	Remain float64 // cycles left in the phase, from the last arrival
+}
+
+// Exponential is the paper's arrival process: independent exponential
+// interarrival times (a Poisson stream) at the node's mean rate. The
+// zero value is ready to use.
+type Exponential struct{}
+
+// Start implements ArrivalProcess; the process is memoryless, so the
+// state carries nothing and no randomness is drawn.
+func (Exponential) Start(rng *xrand.Source) ArrivalState { return ArrivalState{} }
+
+// NextGap implements ArrivalProcess.
+func (Exponential) NextGap(st *ArrivalState, rate float64, rng *xrand.Source) float64 {
+	return rng.Exp(1 / rate)
+}
+
+// Validate implements ArrivalProcess.
+func (Exponential) Validate() error { return nil }
+
+// MMPP2 is a two-state Markov-modulated Poisson process: the stream
+// alternates between a high-rate and a low-rate phase with
+// exponentially distributed dwell times, producing the correlated,
+// bursty arrivals that real message traffic shows and Poisson streams
+// do not. Burst is the ratio of the high-phase rate to the low-phase
+// rate (> 1); DwellHi and DwellLo are the mean dwell times in cycles.
+// The two phase rates are scaled so the long-run mean equals the
+// node's configured rate exactly:
+//
+//	piHi = DwellHi/(DwellHi+DwellLo)
+//	mLo  = 1/(piHi*Burst + 1 - piHi),  mHi = Burst*mLo
+type MMPP2 struct {
+	Burst   float64 // high-phase rate / low-phase rate, > 1
+	DwellHi float64 // mean cycles spent in the high-rate phase
+	DwellLo float64 // mean cycles spent in the low-rate phase
+}
+
+// Validate implements ArrivalProcess.
+func (m MMPP2) Validate() error {
+	if !(m.Burst > 1) || math.IsInf(m.Burst, 0) {
+		return fmt.Errorf("traffic: MMPP2 burst ratio %v (want finite > 1)", m.Burst)
+	}
+	if !(m.DwellHi > 0) || !(m.DwellLo > 0) || math.IsInf(m.DwellHi, 0) || math.IsInf(m.DwellLo, 0) {
+		return fmt.Errorf("traffic: MMPP2 dwell times %v/%v (want finite > 0)", m.DwellHi, m.DwellLo)
+	}
+	return nil
+}
+
+// multipliers returns the rate multiplier of each phase (phase 0 =
+// high, phase 1 = low), normalized to a long-run mean of 1.
+func (m MMPP2) multipliers() (mHi, mLo float64) {
+	piHi := m.DwellHi / (m.DwellHi + m.DwellLo)
+	mLo = 1 / (piHi*m.Burst + 1 - piHi)
+	return m.Burst * mLo, mLo
+}
+
+// Start implements ArrivalProcess: the initial phase is drawn from the
+// stationary distribution so measurement windows see steady-state
+// burst structure from cycle zero.
+func (m MMPP2) Start(rng *xrand.Source) ArrivalState {
+	piHi := m.DwellHi / (m.DwellHi + m.DwellLo)
+	if rng.Float64() < piHi {
+		return ArrivalState{Phase: 0, Remain: rng.Exp(m.DwellHi)}
+	}
+	return ArrivalState{Phase: 1, Remain: rng.Exp(m.DwellLo)}
+}
+
+// NextGap implements ArrivalProcess by superposing the phase-modulated
+// Poisson draws: within a phase the gap is exponential at the phase
+// rate; a draw that overshoots the phase boundary is discarded at the
+// boundary (memorylessness makes the truncation exact) and the stream
+// continues in the next phase.
+func (m MMPP2) NextGap(st *ArrivalState, rate float64, rng *xrand.Source) float64 {
+	mHi, mLo := m.multipliers()
+	gap := 0.0
+	for {
+		mult := mHi
+		dwell := m.DwellHi
+		if st.Phase != 0 {
+			mult = mLo
+			dwell = m.DwellLo
+		}
+		// Validate guarantees both phase rates are positive, so each
+		// loop iteration either returns or consumes one full dwell;
+		// dwell draws are positive, so the loop terminates with
+		// probability 1 and in expectation after O(1) phase changes.
+		g := rng.Exp(1 / (rate * mult))
+		if g < st.Remain {
+			st.Remain -= g
+			return gap + g
+		}
+		gap += st.Remain
+		st.Phase = 1 - st.Phase
+		if st.Phase != 0 {
+			dwell = m.DwellLo
+		} else {
+			dwell = m.DwellHi
+		}
+		st.Remain = rng.Exp(dwell)
+	}
+}
+
+// OnOff is the classic bursty on-off source: during an ON phase the
+// node emits a Poisson stream, during an OFF phase it is silent, with
+// exponentially distributed phase durations. The ON-phase rate is
+// scaled by (DwellOn+DwellOff)/DwellOn so the long-run mean equals the
+// node's configured rate — an OnOff source with a short duty cycle
+// fires rare, intense bursts of the same average volume.
+type OnOff struct {
+	DwellOn  float64 // mean cycles per ON phase
+	DwellOff float64 // mean cycles per OFF phase
+}
+
+// Validate implements ArrivalProcess.
+func (o OnOff) Validate() error {
+	if !(o.DwellOn > 0) || !(o.DwellOff > 0) || math.IsInf(o.DwellOn, 0) || math.IsInf(o.DwellOff, 0) {
+		return fmt.Errorf("traffic: OnOff dwell times %v/%v (want finite > 0)", o.DwellOn, o.DwellOff)
+	}
+	return nil
+}
+
+// Start implements ArrivalProcess: the initial phase is drawn from the
+// stationary distribution (phase 0 = ON, phase 1 = OFF).
+func (o OnOff) Start(rng *xrand.Source) ArrivalState {
+	piOn := o.DwellOn / (o.DwellOn + o.DwellOff)
+	if rng.Float64() < piOn {
+		return ArrivalState{Phase: 0, Remain: rng.Exp(o.DwellOn)}
+	}
+	return ArrivalState{Phase: 1, Remain: rng.Exp(o.DwellOff)}
+}
+
+// NextGap implements ArrivalProcess. OFF phases draw no arrival
+// randomness at all: the stream skips straight to the next ON phase,
+// so a mostly-idle node consumes PRNG draws proportional to its
+// messages, not to simulated time.
+func (o OnOff) NextGap(st *ArrivalState, rate float64, rng *xrand.Source) float64 {
+	onRate := rate * (o.DwellOn + o.DwellOff) / o.DwellOn
+	gap := 0.0
+	for {
+		if st.Phase != 0 { // OFF: silent until the phase ends
+			gap += st.Remain
+			st.Phase = 0
+			st.Remain = rng.Exp(o.DwellOn)
+			continue
+		}
+		g := rng.Exp(1 / onRate)
+		if g < st.Remain {
+			st.Remain -= g
+			return gap + g
+		}
+		gap += st.Remain
+		st.Phase = 1
+		st.Remain = rng.Exp(o.DwellOff)
+	}
+}

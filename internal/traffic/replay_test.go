@@ -1,4 +1,4 @@
-package traffic
+package traffic_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 	"minsim/internal/engine"
 	"minsim/internal/topology"
 	"minsim/internal/trace"
+	"minsim/internal/traffic"
 )
 
 func TestReplayValidation(t *testing.T) {
@@ -16,7 +17,7 @@ func TestReplayValidation(t *testing.T) {
 		{{Src: 0, Dst: 1, Len: 0}},
 	}
 	for i, msgs := range bad {
-		if _, err := NewReplay(8, msgs); err == nil {
+		if _, err := traffic.NewReplay(8, msgs); err == nil {
 			t.Errorf("bad replay %d accepted", i)
 		}
 	}
@@ -28,7 +29,7 @@ func TestReplayOrdering(t *testing.T) {
 		{Src: 0, Dst: 2, Len: 5, Created: 50},
 		{Src: 3, Dst: 1, Len: 5, Created: 10},
 	}
-	r, err := NewReplay(8, msgs)
+	r, err := traffic.NewReplay(8, msgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,9 +61,9 @@ func TestRecordThenReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := Global(tmin.Nodes)
-	rates, _ := NodeRates(c, 0.2, 32, nil)
-	w, err := NewWorkload(Config{Nodes: tmin.Nodes, Pattern: Uniform{C: c}, Lengths: FixedLen{L: 32}, Rates: rates, Seed: 77})
+	c := traffic.Global(tmin.Nodes)
+	rates, _ := traffic.NodeRates(c, 0.2, 32, nil)
+	w, err := traffic.NewWorkload(traffic.Config{Nodes: tmin.Nodes, Pattern: traffic.Uniform{C: c}, Lengths: traffic.FixedLen{L: 32}, Rates: rates, Seed: 77})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRecordThenReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := NewReplay(dmin.Nodes, msgs)
+	replay, err := traffic.NewReplay(dmin.Nodes, msgs)
 	if err != nil {
 		t.Fatal(err)
 	}

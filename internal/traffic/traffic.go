@@ -1,10 +1,13 @@
-// Package traffic generates the network workloads of Section 5 of the
-// paper: Poisson message arrivals per node with message lengths drawn
-// uniformly from {8, ..., 1024} flits, destinations drawn from one of
-// four patterns — uniform, x% nonuniform (hot spot), perfect
-// k-shuffle permutation, i-th butterfly permutation — optionally
-// scoped to processor clusters (global, cluster-16, cluster-32) with
-// per-cluster relative load ratios (e.g. 4:1:1:1).
+// Package traffic generates network workloads as the composition of
+// three orthogonal axes: an ArrivalProcess drawing per-node
+// interarrival gaps (the paper's Poisson stream by default, plus
+// bursty MMPP and on-off processes), a Pattern drawing destinations
+// (Section 5's uniform, x% nonuniform hot spot, perfect k-shuffle and
+// i-th butterfly permutations, plus trace replay), and a LengthDist
+// drawing message lengths (uniform over {8, ..., 1024} flits in the
+// paper). Patterns are optionally scoped to processor clusters
+// (global, cluster-16, cluster-32) with per-cluster relative load
+// ratios (e.g. 4:1:1:1).
 package traffic
 
 import (
@@ -149,12 +152,16 @@ func (b BimodalLen) Mean() float64 {
 // PaperLengths is the message-length distribution of Section 5.
 var PaperLengths = UniformLen{Min: 8, Max: 1024}
 
-// Workload is an engine.Source generating independent Poisson message
-// streams per node.
+// Workload is an engine.Source generating independent per-node
+// message streams: one arrival process (Poisson by default), one
+// destination pattern, one length distribution. The three axes are
+// orthogonal — any ArrivalProcess composes with any Pattern and any
+// LengthDist.
 type Workload struct {
 	nodes   int
 	pattern Pattern
 	lengths LengthDist
+	arrival ArrivalProcess
 	rates   []float64 // msgs per cycle per node
 	state   []nodeState
 }
@@ -162,6 +169,7 @@ type Workload struct {
 type nodeState struct {
 	rng  *xrand.Source
 	next float64
+	arr  ArrivalState
 }
 
 // Config assembles a Workload.
@@ -169,6 +177,10 @@ type Config struct {
 	Nodes   int
 	Pattern Pattern
 	Lengths LengthDist
+	// Arrival selects the interarrival process; nil means the paper's
+	// Poisson stream (Exponential), with streams byte-identical to the
+	// pre-abstraction workload.
+	Arrival ArrivalProcess
 	// Rates is the per-node message arrival rate in messages/cycle.
 	// Use NodeRates to derive it from a normalized flit load.
 	Rates []float64
@@ -176,7 +188,8 @@ type Config struct {
 }
 
 // NewWorkload builds the workload. It validates that rates are
-// non-negative and sized to Nodes.
+// non-negative and sized to Nodes, and that the arrival process
+// parameters are usable.
 func NewWorkload(cfg Config) (*Workload, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("traffic: %d nodes", cfg.Nodes)
@@ -187,10 +200,18 @@ func NewWorkload(cfg Config) (*Workload, error) {
 	if len(cfg.Rates) != cfg.Nodes {
 		return nil, fmt.Errorf("traffic: %d rates for %d nodes", len(cfg.Rates), cfg.Nodes)
 	}
+	arrival := cfg.Arrival
+	if arrival == nil {
+		arrival = Exponential{}
+	}
+	if err := arrival.Validate(); err != nil {
+		return nil, err
+	}
 	w := &Workload{
 		nodes:   cfg.Nodes,
 		pattern: cfg.Pattern,
 		lengths: cfg.Lengths,
+		arrival: arrival,
 		rates:   append([]float64(nil), cfg.Rates...),
 		state:   make([]nodeState, cfg.Nodes),
 	}
@@ -200,13 +221,16 @@ func NewWorkload(cfg Config) (*Workload, error) {
 			return nil, fmt.Errorf("traffic: invalid rate %v for node %d", w.rates[i], i)
 		}
 		w.state[i].rng = base.Split()
+		w.state[i].arr = arrival.Start(w.state[i].rng)
 	}
 	return w, nil
 }
 
-// Next implements engine.Source: exponential interarrival times with
-// mean 1/rate, destination from the pattern, length from the length
-// distribution.
+// Next implements engine.Source: the interarrival gap comes from the
+// arrival process, the destination from the pattern, the length from
+// the length distribution. The draw order (destination, gap, length)
+// is fixed; it is part of the determinism contract the replica
+// bit-exactness suite pins.
 func (w *Workload) Next(node int) (engine.Message, bool) {
 	st := &w.state[node]
 	rate := w.rates[node]
@@ -217,7 +241,7 @@ func (w *Workload) Next(node int) (engine.Message, bool) {
 	if !ok {
 		return engine.Message{}, false
 	}
-	st.next += st.rng.Exp(1 / rate)
+	st.next += w.arrival.NextGap(&st.arr, rate, st.rng)
 	return engine.Message{
 		Src:     node,
 		Dst:     dst,
@@ -233,7 +257,7 @@ func (w *Workload) Next(node int) (engine.Message, bool) {
 // is uniform, across clusters the aggregate rates follow the ratio
 // while the all-node average equals load.
 func NodeRates(c Clustering, load float64, meanLen float64, ratios []float64) ([]float64, error) {
-	if load < 0 || meanLen <= 0 {
+	if !(load >= 0) || !(meanLen > 0) { // negated so NaN fails too
 		return nil, fmt.Errorf("traffic: invalid load %v or mean length %v", load, meanLen)
 	}
 	nc := len(c.Members)
@@ -250,8 +274,8 @@ func NodeRates(c Clustering, load float64, meanLen float64, ratios []float64) ([
 	// clusters proportionally to ratio_i, evenly within a cluster.
 	total := 0.0
 	for _, r := range ratios {
-		if r < 0 {
-			return nil, fmt.Errorf("traffic: negative ratio %v", r)
+		if !(r >= 0) { // negated so NaN fails too
+			return nil, fmt.Errorf("traffic: invalid ratio %v", r)
 		}
 		total += r
 	}

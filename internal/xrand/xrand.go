@@ -70,6 +70,7 @@ func (src *Source) Intn(n int) int {
 		panic("xrand: Intn with n <= 0")
 	}
 	bound := uint64(n)
+	//simvet:bounded — rejection probability < 2^-32 per draw, so the loop all but always exits on the first iteration
 	for {
 		v := src.Uint64()
 		hi, lo := mul64(v, bound)

@@ -152,6 +152,18 @@ const (
 	ButterflyPerm         // i-th butterfly permutation; set Workload.ButterflyI
 )
 
+// Arrival selects the process modulating when a node injects. The
+// mean rate always equals the configured load; the processes differ
+// only in how the arrivals clump.
+type Arrival int
+
+// Arrival processes.
+const (
+	Poisson Arrival = iota // the paper's exponential inter-arrival gaps
+	MMPP                   // two-state Markov-modulated Poisson bursts; set Burst/DwellHi/DwellLo
+	OnOff                  // strict silence/burst alternation; set DwellHi (on) / DwellLo (off)
+)
+
 // Scope selects how nodes are clustered for traffic locality.
 type Scope int
 
@@ -173,6 +185,34 @@ type Workload struct {
 	Ratios     []float64 // per-cluster load ratios (nil = equal)
 	MinLen     int       // message length range (default 8..1024)
 	MaxLen     int
+
+	Arrival Arrival // arrival process (default Poisson)
+	Burst   float64 // MMPP hi/lo rate ratio (default 8)
+	DwellHi float64 // mean burst/on dwell, cycles (default 500)
+	DwellLo float64 // mean quiet/off dwell, cycles (default 2000)
+}
+
+func (w Workload) arrival() (traffic.ArrivalProcess, error) {
+	burst, hi, lo := w.Burst, w.DwellHi, w.DwellLo
+	if burst == 0 {
+		burst = 8
+	}
+	if hi == 0 {
+		hi = 500
+	}
+	if lo == 0 {
+		lo = 2000
+	}
+	switch w.Arrival {
+	case Poisson:
+		return traffic.Exponential{}, nil
+	case MMPP:
+		return traffic.MMPP2{Burst: burst, DwellHi: hi, DwellLo: lo}, nil
+	case OnOff:
+		return traffic.OnOff{DwellOn: hi, DwellOff: lo}, nil
+	default:
+		return nil, fmt.Errorf("minsim: unknown arrival process %d", int(w.Arrival))
+	}
 }
 
 func (w Workload) lengths() traffic.LengthDist {
@@ -223,12 +263,17 @@ func (w Workload) source(topo *topology.Network, load float64, seed uint64) (eng
 	if err != nil {
 		return nil, err
 	}
+	arr, err := w.arrival()
+	if err != nil {
+		return nil, err
+	}
 	return traffic.NewWorkload(traffic.Config{
 		Nodes:   topo.Nodes,
 		Pattern: pat,
 		Lengths: lengths,
 		Rates:   rates,
 		Seed:    seed,
+		Arrival: arr,
 	})
 }
 

@@ -74,6 +74,40 @@ func TestRunLowLoad(t *testing.T) {
 	}
 }
 
+// TestRunBurstyArrival: the facade's arrival axis reaches the engine —
+// same mean load, but the modulated processes produce a different
+// (deterministic) message stream than Poisson.
+func TestRunBurstyArrival(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Kind: TMIN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(a Arrival) Result {
+		res, err := Run(RunConfig{
+			Network:       net,
+			Workload:      Workload{Pattern: Uniform, MinLen: 16, MaxLen: 64, Arrival: a},
+			Load:          0.1,
+			WarmupCycles:  2000,
+			MeasureCycles: 10000,
+			Seed:          1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MessagesMeasured == 0 {
+			t.Fatalf("arrival %d measured nothing", a)
+		}
+		return res
+	}
+	poisson, mmpp, onoff := run(Poisson), run(MMPP), run(OnOff)
+	if mmpp == poisson || onoff == poisson {
+		t.Error("bursty arrivals reproduced the Poisson result exactly; the axis is not reaching the engine")
+	}
+	if again := run(MMPP); again != mmpp {
+		t.Error("MMPP run not deterministic")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if _, err := Run(RunConfig{}); err == nil {
 		t.Error("nil network accepted")
@@ -81,6 +115,9 @@ func TestRunErrors(t *testing.T) {
 	net, _ := NewNetwork(NetworkConfig{Kind: TMIN})
 	if _, err := Run(RunConfig{Network: net, Workload: Workload{Pattern: Pattern(42)}, Load: 0.1}); err == nil {
 		t.Error("bad pattern accepted")
+	}
+	if _, err := Run(RunConfig{Network: net, Workload: Workload{Arrival: Arrival(42)}, Load: 0.1, WarmupCycles: 1, MeasureCycles: 1}); err == nil {
+		t.Error("bad arrival process accepted")
 	}
 	if _, err := Run(RunConfig{Network: net, Load: -1, WarmupCycles: 1, MeasureCycles: 1}); err == nil {
 		t.Error("negative load accepted")

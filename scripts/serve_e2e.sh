@@ -69,6 +69,23 @@ rwarm=$(curl -fsS -X POST "$BASE/v1/run" -d "$RPANEL")
 echo "$rwarm" | grep -o '"counters":{[^}]*}'
 echo "$rwarm" | grep -q '"executed":0' || { echo "replicated warm run re-executed points"; exit 1; }
 
+# A bursty MMPP panel proves the arrival axis flows through the wire
+# schema end to end: the cold run simulates, the warm repeat is served
+# entirely from the cache (arrival parameters are part of the content
+# key).
+MMPP='{"experiments":[{"id":"mmpp-panel","loads":[0.1,0.2],"curves":[{"label":"tmin-mmpp","network":{"kind":"tmin","k":4,"stages":2},"workload":{"pattern":"uniform","arrival":"mmpp","burst":8,"dwellhi":200,"dwelllo":800}}]}],"budget":{"preset":"quick"}}'
+
+echo "== bursty MMPP cold run"
+mcold=$(curl -fsS -X POST "$BASE/v1/run" -d "$MMPP")
+echo "$mcold" | grep -o '"counters":{[^}]*}'
+echo "$mcold" | grep -q '"status":"done"' || { echo "mmpp run not done"; exit 1; }
+echo "$mcold" | grep -q '"executed":[1-9]' || { echo "mmpp run executed nothing"; exit 1; }
+
+echo "== bursty MMPP warm run (must execute 0 points)"
+mwarm=$(curl -fsS -X POST "$BASE/v1/run" -d "$MMPP")
+echo "$mwarm" | grep -o '"counters":{[^}]*}'
+echo "$mwarm" | grep -q '"executed":0' || { echo "mmpp warm run re-executed points"; exit 1; }
+
 # A slow job (3M cycles/point on a small net) pins the single worker
 # so the depth-1 queue can be saturated deterministically.
 SLOW='{"experiments":[{"id":"slow","loads":[0.1,0.2],"curves":[{"label":"t","network":{"kind":"tmin","k":4,"stages":2},"workload":{"pattern":"uniform"}}]}],"budget":{"warmup":200,"measure":3000000}}'
