@@ -38,6 +38,14 @@
 // section; diff mode reports a one-sided section informationally
 // rather than failing.
 //
+// The fleet section records the distribution tax: the same cold
+// point batch executed through a full in-process fleet — coordinator,
+// HTTP protocol, one worker — versus straight on the local worker
+// pool, reported as ns per point and the per-point coordinator
+// overhead. Informational in diff mode (it measures protocol
+// round-trips, which CI-runner loopback timing makes noisy) and
+// absent from baselines that predate the fleet.
+//
 // The table section records the large-N scaling axis of the
 // stage-factored routing representation: binary destination-tag MINs
 // at 1K, 4K and 64K nodes, each row reporting cold construction time
@@ -51,18 +59,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"minsim/internal/engine"
 	"minsim/internal/experiments"
+	"minsim/internal/fleet"
+	"minsim/internal/metrics"
 	"minsim/internal/simrun"
 	"minsim/internal/topology"
 	"minsim/internal/traffic"
@@ -120,6 +133,18 @@ type ReplicaResult struct {
 	Speedup                 float64 `json:"speedup"`
 }
 
+// FleetResult is the coordinator-overhead record: one cold batch of
+// Points identical-budget points run through an in-process fleet
+// (coordinator + HTTP + one worker) and again on the local worker
+// pool. OverheadNsPerPoint is the distribution tax a point pays for
+// leases, heartbeats, wire encoding and store round-trips.
+type FleetResult struct {
+	Points             int     `json:"points"`
+	NsPerPointFleet    float64 `json:"ns_per_point_fleet"`
+	NsPerPointLocal    float64 `json:"ns_per_point_local"`
+	OverheadNsPerPoint float64 `json:"overhead_ns_per_point"`
+}
+
 // Baseline is the file layout of BENCH_<rev>.json. Replicas is absent
 // from baselines that predate the batched-replica engine; diff mode
 // treats a one-sided replica section as informational, never a
@@ -133,6 +158,7 @@ type Baseline struct {
 	Figures    map[string]FigureResult    `json:"figures"`
 	Replicas   map[string][]ReplicaResult `json:"replicas,omitempty"`
 	Table      map[string]TableResult     `json:"table,omitempty"`
+	Fleet      *FleetResult               `json:"fleet,omitempty"`
 }
 
 func main() {
@@ -142,6 +168,7 @@ func main() {
 		skipFigures  = flag.Bool("skip-figures", false, "skip the figure-sweep benchmarks")
 		skipReplicas = flag.Bool("skip-replicas", false, "skip the ReplicaSet amortization benchmarks")
 		skipTable    = flag.Bool("skip-table", false, "skip the large-N scaling (table) benchmarks")
+		skipFleet    = flag.Bool("skip-fleet", false, "skip the fleet coordinator-overhead benchmark")
 		diff         = flag.Bool("diff", false, "compare two baseline files (old.json new.json) instead of benchmarking")
 		threshold    = flag.Float64("threshold", 0.05, "diff mode: allowed ns/cycle regression fraction; negative disables gating")
 	)
@@ -215,6 +242,16 @@ func main() {
 					ns.Name, lanes, res.NsPerReplicaCycle, res.ScalarNsPerReplicaCycle, res.Speedup)
 			}
 		}
+	}
+
+	if !*skipFleet {
+		res, err := benchFleet()
+		if err != nil {
+			fatal(fmt.Errorf("fleet: %w", err))
+		}
+		b.Fleet = &res
+		fmt.Printf("fleet/cold-batch      %d points  fleet %8.0f ns/point  local %8.0f ns/point  overhead %8.0f ns/point\n",
+			res.Points, res.NsPerPointFleet, res.NsPerPointLocal, res.OverheadNsPerPoint)
 	}
 
 	if !*skipFigures {
@@ -517,6 +554,124 @@ func benchReplicas(spec experiments.NetworkSpec, lanes int) (ReplicaResult, erro
 	}, nil
 }
 
+// fleetBenchPoints and the fleet budget size the coordinator-overhead
+// batch: enough points for several chunked leases, cheap enough that
+// protocol round-trips are a visible fraction of the total.
+const fleetBenchPoints = 8
+
+var fleetBudget = simrun.Budget{WarmupCycles: 200, MeasureCycles: 1_000, Seed: 1995}
+
+// memStore is a throwaway in-memory simrun.Store so every fleet
+// benchmark iteration starts cold without touching disk.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string]metrics.Point
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string]metrics.Point{}} }
+
+func (s *memStore) Get(key string) (metrics.Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[key]
+	return p, ok
+}
+
+func (s *memStore) Put(key, spec string, p metrics.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = p
+}
+
+func (s *memStore) Stats() simrun.StoreStats { return simrun.StoreStats{} }
+
+// fleetPlan builds the cold benchmark batch: fleetBenchPoints loads
+// on the 16-node TMIN under uniform traffic at the fleet budget.
+func fleetPlan() (*simrun.Plan, *simrun.Handle) {
+	p := simrun.NewPlan()
+	loads := make([]float64, fleetBenchPoints)
+	for i := range loads {
+		loads[i] = 0.05 + 0.04*float64(i)
+	}
+	h := p.AddSweep(simrun.SweepSpec{
+		Net:    simrun.NetworkSpec{Kind: topology.TMIN, K: 4, Stages: 2},
+		Work:   simrun.WorkloadSpec{Pattern: simrun.PatternSpec{Kind: simrun.Uniform}},
+		Loads:  loads,
+		Budget: fleetBudget,
+	})
+	return p, h
+}
+
+// benchFleet times one cold point batch through a full in-process
+// fleet — coordinator, real HTTP on the loopback, one worker — and
+// again on the local worker pool, both from an empty store, and
+// reports the per-point distribution tax. Each fleet iteration stands
+// up a fresh coordinator/worker pair so registration and lease
+// negotiation are counted: that is the overhead a short simfleet job
+// actually pays.
+func benchFleet() (FleetResult, error) {
+	var benchErr error
+	run := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			store := newMemStore()
+			coord, err := fleet.NewCoordinator(fleet.Config{Store: store, ChunkSize: 2})
+			if err != nil {
+				benchErr = err
+				tb.Skip()
+			}
+			srv := httptest.NewServer(coord.Handler())
+			w, err := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL, Client: srv.Client()})
+			if err != nil {
+				srv.Close()
+				benchErr = err
+				tb.Skip()
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { defer close(done); w.Run(ctx) }()
+			plan, h := fleetPlan()
+			err = plan.Execute(ctx, simrun.Options{Store: store, Dispatcher: coord})
+			if err == nil {
+				_, err = h.Points()
+			}
+			cancel()
+			<-done
+			srv.Close()
+			if err != nil {
+				benchErr = err
+				tb.Skip()
+			}
+		}
+	})
+	if benchErr != nil {
+		return FleetResult{}, benchErr
+	}
+	local := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			plan, h := fleetPlan()
+			err := plan.Execute(context.Background(), simrun.Options{Store: newMemStore()})
+			if err == nil {
+				_, err = h.Points()
+			}
+			if err != nil {
+				benchErr = err
+				tb.Skip()
+			}
+		}
+	})
+	if benchErr != nil {
+		return FleetResult{}, benchErr
+	}
+	fleetNs := float64(run.NsPerOp()) / fleetBenchPoints
+	localNs := float64(local.NsPerOp()) / fleetBenchPoints
+	return FleetResult{
+		Points:             fleetBenchPoints,
+		NsPerPointFleet:    fleetNs,
+		NsPerPointLocal:    localNs,
+		OverheadNsPerPoint: fleetNs - localNs,
+	}, nil
+}
+
 // diffBaselines prints the per-family engine deltas (and figure
 // deltas when present in both files) between two baselines and
 // returns an error if any family's ns/cycle regressed past the
@@ -573,6 +728,7 @@ func diffBaselines(oldPath, newPath string, threshold float64) error {
 	}
 	diffReplicas(oldB, newB, oldPath, newPath)
 	diffTable(oldB, newB, oldPath, newPath)
+	diffFleet(oldB, newB, oldPath, newPath)
 	if len(regressions) > 0 {
 		return fmt.Errorf("performance regressed past threshold: %s", strings.Join(regressions, "; "))
 	}
@@ -652,6 +808,29 @@ func diffTable(oldB, newB Baseline, oldPath, newPath string) {
 				name, o.NsPerCycle, n.NsPerCycle, (n.NsPerCycle/o.NsPerCycle-1)*100,
 				o.BuildNs/1e6, n.BuildNs/1e6, o.RoutingBytes, n.RoutingBytes)
 		}
+	}
+}
+
+// diffFleet reports the coordinator-overhead delta. Always
+// informational: the number is dominated by loopback HTTP round-trip
+// timing, which CI runners cannot measure stably, and baselines from
+// before the fleet lack the section.
+func diffFleet(oldB, newB Baseline, oldPath, newPath string) {
+	switch {
+	case oldB.Fleet == nil && newB.Fleet == nil:
+		return
+	case oldB.Fleet == nil:
+		fmt.Printf("fleet section only in %s (new since %s; informational)\n", newPath, oldB.Revision)
+		fmt.Printf("fleet/cold-batch      %d points  fleet %8.0f ns/point  local %8.0f ns/point  overhead %8.0f ns/point\n",
+			newB.Fleet.Points, newB.Fleet.NsPerPointFleet, newB.Fleet.NsPerPointLocal, newB.Fleet.OverheadNsPerPoint)
+	case newB.Fleet == nil:
+		fmt.Printf("fleet section missing from %s (present in %s; informational)\n", newPath, oldPath)
+	default:
+		o, n := oldB.Fleet, newB.Fleet
+		fmt.Printf("fleet/cold-batch      overhead %8.0f -> %8.0f ns/point (%+6.1f%%)  fleet %8.0f -> %8.0f ns/point\n",
+			o.OverheadNsPerPoint, n.OverheadNsPerPoint,
+			(n.OverheadNsPerPoint/o.OverheadNsPerPoint-1)*100,
+			o.NsPerPointFleet, n.NsPerPointFleet)
 	}
 }
 

@@ -136,8 +136,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "figures: plan: %d points requested, %d unique: %d cached, %d executed, %d failed (%v)\n",
 			c.Requested, c.Unique, c.Cached, c.Executed, c.Failed, time.Since(start).Round(time.Millisecond))
-		if opts.Store != nil && opts.Store.WriteFailures() > 0 {
-			fmt.Fprintf(os.Stderr, "figures: warning: %d cache writes failed; those points will recompute next run\n", opts.Store.WriteFailures())
+		if wf := storeWriteFails(opts.Store); wf > 0 {
+			fmt.Fprintf(os.Stderr, "figures: warning: %d cache writes failed; those points will recompute next run\n", wf)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: interrupted: %v (completed points are cached; re-run to resume)\n", err)
@@ -216,4 +216,13 @@ func progressPrinter(start time.Time) func(simrun.Counters) {
 		}
 		fmt.Fprintf(os.Stderr, "%-70s", line)
 	}
+}
+
+// storeWriteFails reports persist failures on the optional cache
+// (0 when no store is configured).
+func storeWriteFails(s simrun.Store) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Stats().WriteFails
 }

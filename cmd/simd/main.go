@@ -9,6 +9,14 @@
 //	simd [-addr :8080] [-cache results/cache] [-queue 16]
 //	     [-job-workers 1] [-sim-workers 0] [-job-timeout 15m]
 //	     [-drain-timeout 30s] [-max-points 20000] [-max-cycles 10000000]
+//	     [-coordinator http://host:port] [-worker-name name]
+//
+// With -coordinator set, simd additionally runs as a fleet worker: it
+// registers with the simfleet coordinator at that URL, pulls chunked
+// unit leases, executes them against the coordinator's shared store
+// (so a fleet-wide warm key never re-simulates), heartbeats while
+// executing, and exposes simd_worker_* counters on its own /metrics.
+// The local HTTP service keeps working unchanged alongside.
 //
 // The service is hardened for production-style operation: admission
 // control with backpressure (bounded queue -> 429 + Retry-After),
@@ -34,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"minsim/internal/fleet"
 	"minsim/internal/server"
 	"minsim/internal/simrun"
 )
@@ -54,6 +63,8 @@ func run() int {
 		retryAfter   = flag.Duration("retry-after", 5*time.Second, "Retry-After hint on 429 responses")
 		maxPoints    = flag.Int("max-points", 20000, "max requested load points per job")
 		maxCycles    = flag.Int64("max-cycles", 10_000_000, "max warmup+measure cycles per point")
+		coordinator  = flag.String("coordinator", "", "fleet coordinator base URL; empty = no fleet worker")
+		workerName   = flag.String("worker-name", "", "worker name in coordinator metrics (default: assigned id)")
 	)
 	flag.Parse()
 
@@ -62,6 +73,20 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		return 1
 	}
+
+	var worker *fleet.Worker
+	if *coordinator != "" {
+		worker, err = fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: *coordinator,
+			Name:        *workerName,
+			SimWorkers:  *simWorkers,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			return 1
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Store:        store,
 		QueueDepth:   *queueDepth,
@@ -73,10 +98,24 @@ func run() int {
 		MaxPoints:    *maxPoints,
 		MaxCycles:    *maxCycles,
 		LogWriter:    os.Stderr,
+		FleetWorker:  worker,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		return 1
+	}
+
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workerDone := make(chan struct{})
+	if worker != nil {
+		go func() {
+			defer close(workerDone)
+			worker.Run(workerCtx)
+		}()
+		fmt.Fprintf(os.Stderr, "simd: fleet worker polling %s\n", *coordinator)
+	} else {
+		close(workerDone)
 	}
 
 	httpSrv := &http.Server{
@@ -107,6 +146,10 @@ func run() int {
 	// synchronous requests waiting on those jobs get their responses.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+10*time.Second)
 	defer cancel()
+	// The fleet worker stops first: an abandoned lease simply expires
+	// at the coordinator and its units requeue to surviving workers.
+	stopWorker()
+	<-workerDone
 	srv.Shutdown(ctx)
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "simd: http shutdown: %v\n", err)

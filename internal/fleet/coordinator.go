@@ -1,0 +1,392 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"minsim/internal/metrics"
+	"minsim/internal/simrun"
+)
+
+// Config parameterizes a Coordinator. Zero values take the documented
+// defaults; Store is required.
+type Config struct {
+	// Store is the fleet-wide shared result store: the coordinator
+	// serves it over HTTP, so one warm key anywhere means no execution
+	// anywhere. Required.
+	Store simrun.Store
+	// ChunkSize is the maximum units granted per lease (default 4).
+	// Small chunks spread a panel across workers; large chunks
+	// amortize HTTP round-trips and batch better on the worker.
+	ChunkSize int
+	// LeaseTTL is how long a lease survives without a heartbeat
+	// (default 10s). Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times a unit is re-leased after
+	// worker loss before it fails (default 3).
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 4
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// subscriber is one dispatching plan's interest in a unit. Delivery
+// happens under the coordinator mutex; the owner's cancelled flag is
+// how a cancelled Dispatch detaches without racing a delivery.
+type subscriber struct {
+	owner *dispatchState
+	index int // unit index within the owner's Dispatch call
+}
+
+// dispatchState tracks one Dispatch call's undelivered units.
+type dispatchState struct {
+	report    func(i int, pt metrics.Point, executed bool, err error)
+	remaining int
+	cancelled bool
+	done      chan struct{} // closed when remaining hits 0
+}
+
+// unit is one content-keyed work item in coordinator state.
+type unit struct {
+	key      string
+	wire     WireSpec
+	spec     string // human-readable, for store write-through
+	attempts int    // lease grants so far
+	done     bool
+	subs     []subscriber
+}
+
+// lease is a chunk of units granted to one worker, alive until
+// expires unless heartbeaten.
+type lease struct {
+	id       string
+	workerID string
+	units    []*unit
+	expires  time.Time
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id           string
+	name         string
+	executed     int64 // units this worker freshly simulated
+	cached       int64 // units this worker served from the shared store
+	activeLeases int
+}
+
+// Coordinator owns fleet state: registered workers, the FIFO unit
+// queue, active leases and the cross-job dedup index. It implements
+// simrun.Dispatcher, so a server job's plan hands its hashable points
+// here instead of the local pool. All state lives under one mutex;
+// lease expiry is lazy — every mutating call first expires overdue
+// leases — so there is no background sweeper to leak, and worker
+// polling is what drives requeue forward.
+type Coordinator struct {
+	cfg Config
+	now func() time.Time // injectable for expiry tests
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	queue      []*unit          // FIFO; done units are skipped lazily
+	byKey      map[string]*unit // in-flight (not done) units
+	leases     map[string]*lease
+	nextWorker int
+	nextLease  int
+
+	// counters for /metrics (all under mu)
+	leasesGranted  int64
+	leasesExpired  int64
+	unitsRequeued  int64
+	unitsCompleted int64
+	unitsFailed    int64
+	duplicates     int64 // executed results for already-done units
+	storeGets      int64
+	storePuts      int64
+}
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fleet: Config.Store is required")
+	}
+	return &Coordinator{
+		cfg:     cfg.withDefaults(),
+		now:     time.Now,
+		workers: map[string]*workerState{},
+		byKey:   map[string]*unit{},
+		leases:  map[string]*lease{},
+	}, nil
+}
+
+// Dispatch implements simrun.Dispatcher: it enqueues every unit
+// (deduplicating against units already in flight from other jobs),
+// then blocks until all are delivered or ctx is cancelled. report is
+// invoked under the coordinator mutex, so it must not call back into
+// the coordinator — the plan layer's callback only touches plan
+// state, which satisfies that.
+func (c *Coordinator) Dispatch(ctx context.Context, units []simrun.DispatchUnit, report func(i int, pt metrics.Point, executed bool, err error)) error {
+	if len(units) == 0 {
+		return nil
+	}
+	state := &dispatchState{report: report, remaining: len(units), done: make(chan struct{})}
+
+	c.mu.Lock()
+	for i, du := range units {
+		sub := subscriber{owner: state, index: i}
+		if existing, ok := c.byKey[du.Key]; ok {
+			existing.subs = append(existing.subs, sub)
+			continue
+		}
+		wire, err := EncodeSpec(du.Spec)
+		if err != nil {
+			// Unreachable for units with a valid key (Key and
+			// EncodeSpec reject the same specs), but fail loudly
+			// rather than strand the dispatch.
+			c.mu.Unlock()
+			return fmt.Errorf("fleet: unit %s: %w", du.Key, err)
+		}
+		u := &unit{key: du.Key, wire: wire, spec: du.Spec.String(), subs: []subscriber{sub}}
+		c.byKey[du.Key] = u
+		c.queue = append(c.queue, u)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-state.done:
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		state.cancelled = true
+		c.mu.Unlock()
+		// The units stay queued: another job may want them, and a
+		// completed result still lands in the shared store.
+		return ctx.Err()
+	}
+}
+
+// deliverLocked notifies every subscriber of a finished unit and
+// updates dispatch completion state. Caller holds c.mu.
+func (c *Coordinator) deliverLocked(u *unit, pt metrics.Point, executed bool, err error) {
+	//simvet:bounded — one entry per concurrently dispatching job
+	for _, s := range u.subs {
+		if s.owner.cancelled {
+			continue
+		}
+		s.owner.report(s.index, pt, executed, err)
+		s.owner.remaining--
+		if s.owner.remaining == 0 {
+			close(s.owner.done)
+		}
+	}
+	u.subs = nil
+}
+
+// expireLocked requeues or fails the units of every overdue lease.
+// Caller holds c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(c.leases, id)
+		c.leasesExpired++
+		if w, ok := c.workers[l.workerID]; ok {
+			w.activeLeases--
+		}
+		//simvet:bounded — at most ChunkSize units per lease
+		for _, u := range l.units {
+			if u.done {
+				continue
+			}
+			if u.attempts >= c.cfg.MaxAttempts {
+				u.done = true
+				delete(c.byKey, u.key)
+				c.unitsFailed++
+				c.deliverLocked(u, metrics.Point{}, false,
+					fmt.Errorf("fleet: unit %s failed after %d lease attempts (workers lost)", u.key, u.attempts))
+				continue
+			}
+			c.queue = append(c.queue, u)
+			c.unitsRequeued++
+		}
+	}
+}
+
+// register admits a worker and returns its protocol parameters.
+func (c *Coordinator) register(name string) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	w := &workerState{id: fmt.Sprintf("w-%04d", c.nextWorker), name: name}
+	if w.name == "" {
+		w.name = w.id
+	}
+	c.workers[w.id] = w
+	return RegisterResponse{
+		WorkerID:   w.id,
+		LeaseTTLMs: c.cfg.LeaseTTL.Milliseconds(),
+		Chunk:      c.cfg.ChunkSize,
+	}
+}
+
+// leasePollMs is the wait hint returned when the queue is empty;
+// short enough that a just-submitted panel spreads across every
+// polling worker.
+const leasePollMs = 100
+
+// grantLease pops up to max pending units for the worker. An empty
+// grant carries a poll-again hint instead of a lease.
+func (c *Coordinator) grantLease(workerID string, max int) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	w, ok := c.workers[workerID]
+	if !ok {
+		return LeaseResponse{}, fmt.Errorf("unknown worker %q", workerID)
+	}
+	if max <= 0 || max > c.cfg.ChunkSize {
+		max = c.cfg.ChunkSize
+	}
+	var granted []*unit
+	for len(granted) < max && len(c.queue) > 0 {
+		u := c.queue[0]
+		c.queue = c.queue[1:]
+		if u.done {
+			continue // finished (or failed) while queued elsewhere
+		}
+		u.attempts++
+		granted = append(granted, u)
+	}
+	if len(granted) == 0 {
+		return LeaseResponse{WaitMs: leasePollMs}, nil
+	}
+	c.nextLease++
+	l := &lease{
+		id:       fmt.Sprintf("l-%06d", c.nextLease),
+		workerID: workerID,
+		units:    granted,
+		expires:  now.Add(c.cfg.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	c.leasesGranted++
+	w.activeLeases++
+	resp := LeaseResponse{LeaseID: l.id, Units: make([]Unit, len(granted))}
+	for i, u := range granted {
+		resp.Units[i] = Unit{Key: u.key, Spec: u.wire}
+	}
+	return resp, nil
+}
+
+// heartbeat extends a lease. ok=false means the lease is gone — the
+// worker must abandon the chunk, its units are already requeued.
+func (c *Coordinator) heartbeat(workerID, leaseID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok || l.workerID != workerID {
+		return false
+	}
+	l.expires = now.Add(c.cfg.LeaseTTL)
+	return true
+}
+
+// complete ingests a chunk of results. Results for units nobody else
+// finished are accepted even from an expired lease (the work is done
+// and correct — content addressing makes it indistinguishable from
+// the re-leased copy); an executed result for an already-done unit
+// increments the duplicate counter the e2e gate asserts to be zero in
+// an orderly cold run.
+func (c *Coordinator) complete(req CompleteRequest) {
+	// Write-through repairs touch the store (disk or worse); collect
+	// them under the mutex, run them after it drops, so a slow store
+	// never stalls the lease/heartbeat path.
+	type repair struct {
+		key, spec string
+		pt        metrics.Point
+	}
+	var repairs []repair
+	c.mu.Lock()
+	now := c.now()
+	c.expireLocked(now)
+	if l, ok := c.leases[req.LeaseID]; ok && l.workerID == req.WorkerID {
+		delete(c.leases, req.LeaseID)
+		if w, ok := c.workers[req.WorkerID]; ok {
+			w.activeLeases--
+		}
+	}
+	w := c.workers[req.WorkerID] // nil for a forgotten worker; counters just drop
+	//simvet:bounded — at most ChunkSize results per completion
+	for _, res := range req.Results {
+		u, ok := c.byKey[res.Key]
+		if !ok || u.done {
+			if res.Executed {
+				c.duplicates++
+			}
+			continue
+		}
+		u.done = true
+		delete(c.byKey, res.Key)
+		if res.Error != "" {
+			// Deterministic failure: retrying on another worker would
+			// reproduce it, so fail the unit now.
+			c.unitsFailed++
+			c.deliverLocked(u, metrics.Point{}, false, fmt.Errorf("fleet: unit %s: %s", res.Key, res.Error))
+			continue
+		}
+		c.unitsCompleted++
+		if w != nil {
+			if res.Executed {
+				w.executed++
+			} else {
+				w.cached++
+			}
+		}
+		if res.Executed {
+			repairs = append(repairs, repair{res.Key, u.spec, res.Point})
+		}
+		c.deliverLocked(u, res.Point, res.Executed, nil)
+	}
+	c.mu.Unlock()
+
+	// The worker wrote through the shared store before completing;
+	// re-persist only where that write was lost, so the warm path
+	// stays warm even across a flaky worker store connection. (A
+	// concurrent cache scan racing this repair can at worst re-execute
+	// the point — wasted work, never a wrong result.)
+	for _, r := range repairs {
+		if _, hit := c.cfg.Store.Get(r.key); !hit {
+			c.cfg.Store.Put(r.key, r.spec, r.pt)
+		}
+	}
+}
+
+// storeGet serves the shared store to workers.
+func (c *Coordinator) storeGet(key string) (metrics.Point, bool) {
+	c.mu.Lock()
+	c.storeGets++
+	c.mu.Unlock()
+	return c.cfg.Store.Get(key)
+}
+
+// storePut is the worker write-through path.
+func (c *Coordinator) storePut(key, spec string, p metrics.Point) {
+	c.mu.Lock()
+	c.storePuts++
+	c.mu.Unlock()
+	c.cfg.Store.Put(key, spec, p)
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"minsim/internal/metrics"
+	"minsim/internal/simrun"
+)
+
+// RemoteStore is the worker-side simrun.Store backed by the
+// coordinator's /fleet/v1/store endpoints. Its failure semantics
+// follow the Store contract exactly: any transport or decode problem
+// on Get is a miss, any problem on Put is a counted write failure —
+// a fleet with a flaky network degrades to recomputation, it never
+// aborts a simulation.
+type RemoteStore struct {
+	base   string // coordinator base URL, no trailing slash
+	client *http.Client
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	writeFails atomic.Int64
+}
+
+var _ simrun.Store = (*RemoteStore)(nil)
+
+// NewRemoteStore opens a remote store against a coordinator base URL
+// (e.g. "http://coordinator:18080"). client nil means a default with
+// a 30s timeout.
+func NewRemoteStore(base string, client *http.Client) *RemoteStore {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &RemoteStore{base: base, client: client}
+}
+
+func (s *RemoteStore) url(key string) string {
+	return s.base + "/fleet/v1/store/" + key
+}
+
+// Get implements simrun.Store.
+func (s *RemoteStore) Get(key string) (metrics.Point, bool) {
+	resp, err := s.client.Get(s.url(key))
+	if err != nil {
+		s.misses.Add(1)
+		return metrics.Point{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.misses.Add(1)
+		return metrics.Point{}, false
+	}
+	var e StoreEntry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Key != key {
+		s.misses.Add(1)
+		return metrics.Point{}, false
+	}
+	s.hits.Add(1)
+	return e.Point, true
+}
+
+// Put implements simrun.Store.
+func (s *RemoteStore) Put(key, spec string, p metrics.Point) {
+	body, err := json.Marshal(StoreEntry{Key: key, Spec: spec, Point: p})
+	if err != nil {
+		s.writeFails.Add(1)
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, s.url(key), bytes.NewReader(body))
+	if err != nil {
+		s.writeFails.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		s.writeFails.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		s.writeFails.Add(1)
+	}
+}
+
+// Stats implements simrun.Store.
+func (s *RemoteStore) Stats() simrun.StoreStats {
+	return simrun.StoreStats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		WriteFails: s.writeFails.Load(),
+	}
+}
+
+// String identifies the store in logs.
+func (s *RemoteStore) String() string {
+	return fmt.Sprintf("fleet store at %s", s.base)
+}

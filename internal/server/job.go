@@ -181,8 +181,12 @@ const maxRetainedJobs = 256
 // shared content-addressed store.
 type manager struct {
 	cfg   Config
-	store *simrun.Store
-	reg   *registry
+	store simrun.Store
+	// dispatcher, when non-nil, ships each job's hashable points to
+	// the fleet instead of the local pool (set by New from Config.Fleet;
+	// typed as the simrun interface so this file stays fleet-agnostic).
+	dispatcher simrun.Dispatcher
+	reg        *registry
 
 	queue    chan *job
 	quit     chan struct{} // closed at shutdown: workers stop picking up jobs
@@ -199,11 +203,21 @@ type manager struct {
 	nextID int
 }
 
+// dispatcherFor avoids assigning a non-nil interface wrapping a nil
+// coordinator pointer when the server runs fleet-less.
+func dispatcherFor(cfg Config) simrun.Dispatcher {
+	if cfg.Fleet == nil {
+		return nil
+	}
+	return cfg.Fleet
+}
+
 func newManager(cfg Config, reg *registry) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		cfg:        cfg,
 		store:      cfg.Store,
+		dispatcher: dispatcherFor(cfg),
 		reg:        reg,
 		queue:      make(chan *job, cfg.QueueDepth),
 		quit:       make(chan struct{}),
@@ -335,9 +349,10 @@ func (m *manager) run(j *job) {
 		handles[i] = experiments.AddToPlan(plan, e, j.budget)
 	}
 	err := plan.Execute(ctx, simrun.Options{
-		Workers:  m.cfg.SimWorkers,
-		Store:    m.store,
-		Progress: j.observe,
+		Workers:    m.cfg.SimWorkers,
+		Store:      m.store,
+		Dispatcher: m.dispatcher,
+		Progress:   j.observe,
 	})
 	var figs []metrics.Figure
 	if err == nil {

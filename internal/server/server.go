@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"minsim/internal/experiments"
+	"minsim/internal/fleet"
 	"minsim/internal/simrun"
 )
 
@@ -48,7 +49,7 @@ import (
 // defaults; Store is required.
 type Config struct {
 	// Store is the shared content-addressed result store. Required.
-	Store *simrun.Store
+	Store simrun.Store
 	// QueueDepth bounds the admission queue (default 16). A full
 	// queue rejects new jobs with 429.
 	QueueDepth int
@@ -77,6 +78,15 @@ type Config struct {
 	MaxCycles int64
 	// LogWriter receives one JSON line per request (nil = no logs).
 	LogWriter io.Writer
+	// Fleet, when non-nil, turns this server into a fleet coordinator:
+	// the /fleet/v1/ endpoints are mounted, fleet metrics join
+	// /metrics, and every job's hashable points dispatch to registered
+	// workers instead of the local pool.
+	Fleet *fleet.Coordinator
+	// FleetWorker, when non-nil, is this process's worker client (run
+	// separately by cmd/simd); the server only exposes its counters on
+	// /metrics.
+	FleetWorker *fleet.Worker
 }
 
 // withDefaults fills in the documented defaults.
@@ -141,6 +151,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/figures", s.handleFigures)
+	if cfg.Fleet != nil {
+		mux.Handle("/fleet/v1/", cfg.Fleet.Handler())
+	}
 	s.handler = s.withLogging(mux)
 	return s, nil
 }
@@ -381,4 +394,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.writePrometheus(w, s.mgr)
+	if s.cfg.Fleet != nil {
+		s.cfg.Fleet.WriteMetrics(w)
+	}
+	if s.cfg.FleetWorker != nil {
+		s.cfg.FleetWorker.WriteMetrics(w)
+	}
 }

@@ -1,0 +1,29 @@
+package simrun
+
+import (
+	"context"
+
+	"minsim/internal/metrics"
+)
+
+// DispatchUnit is one remotely executable point: a hashable RunSpec
+// and its content key. The key is what makes remote execution safe —
+// a worker recomputes it from the spec and refuses a mismatch, and the
+// shared store addresses the result by it, so the same point executed
+// anywhere in a fleet lands in the same cache entry.
+type DispatchUnit struct {
+	Key  string
+	Spec RunSpec
+}
+
+// Dispatcher executes dispatch units somewhere other than the local
+// worker pool — the fleet coordinator is the production
+// implementation. Dispatch must call report exactly once per unit
+// index (from any goroutine, in any order) unless ctx is cancelled or
+// it returns an error; it must not call report after it returns.
+// executed tells whether the unit was freshly simulated (false = a
+// warm store served it); the dispatcher owns persisting executed
+// results, Execute does not re-store them.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, units []DispatchUnit, report func(i int, pt metrics.Point, executed bool, err error)) error
+}

@@ -115,6 +115,29 @@ func (p *Plan) AddSweep(s SweepSpec) *Handle {
 	return h
 }
 
+// AddSpec registers a single fully-derived RunSpec — seed already
+// final, no load-sweep expansion — and returns its one-point handle.
+// It shares the dedup index with AddSweep, so a spec already on the
+// plan resolves to the existing point-run. This is how a fleet worker
+// replays a leased unit through the plan layer: the unit's spec goes
+// straight in, and execution reuses the same cache check, batching and
+// chunked cancellation as any locally planned point.
+func (p *Plan) AddSpec(rs RunSpec) *Handle {
+	p.requested++
+	key, err := rs.Key()
+	if err != nil {
+		key = "" // uncacheable: unique run, no dedup, no store
+	} else if existing, ok := p.index[key]; ok {
+		return &Handle{groups: [][]*pointRun{{existing}}}
+	}
+	r := &pointRun{key: key, spec: rs}
+	p.runs = append(p.runs, r)
+	if key != "" {
+		p.index[key] = r
+	}
+	return &Handle{groups: [][]*pointRun{{r}}}
+}
+
 // AddFunc registers n opaque points executed by fn(i). Opaque points
 // cannot be hashed, deduplicated, cached or batched — they exist so
 // ad-hoc callers (arbitrary networks and source factories) still share
@@ -160,6 +183,19 @@ func (h *Handle) Points() ([]metrics.Point, error) {
 	return out, nil
 }
 
+// FromCache reports whether load point i completed entirely from the
+// store (every replica backing it was a cache hit rather than a fresh
+// simulation). Only meaningful after Execute; a fleet worker uses it
+// to report per-unit executed-vs-cached truthfully to the coordinator.
+func (h *Handle) FromCache(i int) bool {
+	for _, r := range h.groups[i] {
+		if !r.cached {
+			return false
+		}
+	}
+	return true
+}
+
 // Counters snapshots plan progress for observability. The JSON tags
 // are the wire format of the simd service's progress snapshots
 // (internal/server), so renaming them is an API change.
@@ -179,10 +215,16 @@ type Counters struct {
 type Options struct {
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
-	// Store, when non-nil, serves hashable points from disk and
+	// Store, when non-nil, serves hashable points from the cache and
 	// persists freshly computed ones (written as each point finishes,
 	// so an interrupted run keeps everything it completed).
-	Store *Store
+	Store Store
+	// Dispatcher, when non-nil, executes the plan's hashable spec
+	// points remotely instead of on the local worker pool; opaque and
+	// uncacheable points still run locally. Persistence of dispatched
+	// results is the dispatcher's responsibility (fleet workers write
+	// through the shared store), so Execute does not re-Put them.
+	Dispatcher Dispatcher
 	// Progress, when non-nil, is called with a counter snapshot after
 	// every state change (cache hit, start, finish). Calls are
 	// serialized.
@@ -256,6 +298,64 @@ func (p *Plan) Execute(ctx context.Context, opts Options) error {
 		pending = append(pending, r)
 	}
 
+	// With a dispatcher, hashable spec points ship out as units; only
+	// opaque fn points and uncacheable specs stay on the local pool.
+	var remote []*pointRun
+	if opts.Dispatcher != nil {
+		local := pending[:0]
+		for _, r := range pending {
+			if r.fn == nil && r.key != "" {
+				remote = append(remote, r)
+			} else {
+				local = append(local, r)
+			}
+		}
+		pending = local
+	}
+	var dispatchWG sync.WaitGroup
+	if len(remote) > 0 {
+		units := make([]DispatchUnit, len(remote))
+		for i, r := range remote {
+			units[i] = DispatchUnit{Key: r.key, Spec: r.spec}
+		}
+		dispatchWG.Add(1)
+		go func() {
+			defer dispatchWG.Done()
+			err := opts.Dispatcher.Dispatch(ctx, units, func(i int, pt metrics.Point, executed bool, uerr error) {
+				r := remote[i]
+				r.pt, r.err = pt, uerr
+				r.done = uerr == nil
+				r.cached = uerr == nil && !executed
+				p.bump(func(c *Counters) {
+					c.Done++
+					switch {
+					case uerr != nil:
+						c.Executed++
+						c.Failed++
+					case executed:
+						c.Executed++
+					default:
+						c.Cached++
+					}
+				}, opts.Progress)
+			})
+			if err == nil || ctx.Err() != nil {
+				// Cancellation leaves unreported units undone, exactly
+				// like local points never fed to the pool.
+				return
+			}
+			// A fatal dispatch error (coordinator unreachable, job
+			// rejected): surface it through every unit it stranded so
+			// Handle.Points reports the cause.
+			for _, r := range remote {
+				if !r.done && r.err == nil {
+					r.err = fmt.Errorf("simrun: dispatch: %w", err)
+					p.bump(func(c *Counters) { c.Failed++; c.Done++ }, opts.Progress)
+				}
+			}
+		}()
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -311,6 +411,7 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+	dispatchWG.Wait()
 	return ctx.Err()
 }
 

@@ -14,12 +14,30 @@ import (
 // cache, relative to the working directory.
 const DefaultCacheDir = "results/cache"
 
-// Store is a content-addressed on-disk result cache: one JSON file
-// per RunSpec key under dir. Writes are atomic (temp file + rename),
-// so a crashed or interrupted run never leaves a truncated entry that
+// Store is a content-addressed result cache keyed by RunSpec.Key().
+// Implementations must be safe for concurrent use and must degrade,
+// never abort: a Get that cannot trust its entry is a miss, a Put that
+// cannot persist is counted in Stats().WriteFails and dropped. The
+// local DiskStore and the fleet's HTTP-backed remote store both
+// satisfy it, which is what lets a plan execute identically whether
+// its cache lives on this machine or behind a coordinator.
+type Store interface {
+	// Get returns the cached point for key, or ok=false on any miss —
+	// absent, unreadable, corrupt or mismatched entries alike.
+	Get(key string) (metrics.Point, bool)
+	// Put stores a result. Failures are counted, not returned: a cache
+	// that cannot be written degrades to recomputation.
+	Put(key, spec string, p metrics.Point)
+	// Stats returns the store's lifetime lookup counters.
+	Stats() StoreStats
+}
+
+// DiskStore is the local Store implementation: one JSON file per
+// RunSpec key under dir. Writes are atomic (temp file + rename), so a
+// crashed or interrupted run never leaves a truncated entry that
 // parses; unreadable, corrupt or mismatched entries are treated as
 // misses and recomputed, never trusted.
-type Store struct {
+type DiskStore struct {
 	dir        string
 	hits       atomic.Int64
 	misses     atomic.Int64
@@ -38,27 +56,27 @@ type storeEntry struct {
 }
 
 // NewStore opens (creating if needed) a cache rooted at dir.
-func NewStore(dir string) (*Store, error) {
+func NewStore(dir string) (*DiskStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("simrun: empty cache directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("simrun: cache dir: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &DiskStore{dir: dir}, nil
 }
 
 // Dir returns the cache root.
-func (s *Store) Dir() string { return s.dir }
+func (s *DiskStore) Dir() string { return s.dir }
 
-func (s *Store) path(key string) string {
+func (s *DiskStore) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
 // Get returns the cached point for key, or ok=false on a miss —
 // including every corruption case (unreadable file, bad JSON, key
 // mismatch), which a subsequent Put simply overwrites.
-func (s *Store) Get(key string) (metrics.Point, bool) {
+func (s *DiskStore) Get(key string) (metrics.Point, bool) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		s.misses.Add(1)
@@ -76,7 +94,7 @@ func (s *Store) Get(key string) (metrics.Point, bool) {
 // Put stores a result atomically. Failures are counted but not fatal:
 // a cache that cannot be written degrades to recomputation, it must
 // never abort the simulation that produced the result.
-func (s *Store) Put(key, spec string, p metrics.Point) {
+func (s *DiskStore) Put(key, spec string, p metrics.Point) {
 	data, err := json.MarshalIndent(storeEntry{Key: key, Spec: spec, Point: p}, "", "  ")
 	if err != nil {
 		s.writeFails.Add(1)
@@ -103,7 +121,7 @@ func (s *Store) Put(key, spec string, p metrics.Point) {
 
 // WriteFailures reports how many Puts could not be persisted, for
 // CLIs that want to warn about a degraded cache.
-func (s *Store) WriteFailures() int64 { return s.writeFails.Load() }
+func (s *DiskStore) WriteFailures() int64 { return s.writeFails.Load() }
 
 // StoreStats is a snapshot of a store's lookup and persistence
 // counters, accumulated across every plan execution sharing the store
@@ -117,7 +135,7 @@ type StoreStats struct {
 }
 
 // Stats returns the store's lifetime lookup counters.
-func (s *Store) Stats() StoreStats {
+func (s *DiskStore) Stats() StoreStats {
 	return StoreStats{
 		Hits:       s.hits.Load(),
 		Misses:     s.misses.Load(),

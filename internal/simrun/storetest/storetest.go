@@ -1,0 +1,155 @@
+// Package storetest is the conformance suite for simrun.Store
+// implementations. Every store — the local disk store, the fleet's
+// HTTP remote store, any future one — must pass the same behavioral
+// contract: misses on absent keys, round-tripping puts, corruption
+// treated as a miss (never trusted, never fatal), write failures
+// counted rather than raised, and safety under concurrent writers.
+//
+// Usage:
+//
+//	storetest.Run(t, func(t *testing.T) storetest.Fixture { ... })
+//
+// The open function is called once per subtest, so each property
+// starts from an empty store.
+package storetest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"minsim/internal/metrics"
+	"minsim/internal/simrun"
+)
+
+// Fixture is one store under test plus the fault hooks the suite
+// needs. Corrupt and FailWrites may be nil when an implementation
+// cannot express the fault; the corresponding subtests are skipped.
+type Fixture struct {
+	// Store is a freshly opened, empty store.
+	Store simrun.Store
+	// Corrupt damages the stored entry for key so a subsequent Get
+	// must miss (nil = skip the corruption subtests).
+	Corrupt func(key string)
+	// FailWrites makes every subsequent Put fail (nil = skip the
+	// write-failure subtest).
+	FailWrites func()
+}
+
+// Key returns a syntactically valid content key (64 hex digits)
+// unique to n — the shape every real RunSpec key has, and the shape
+// the fleet store endpoints require.
+func Key(n int) string {
+	return fmt.Sprintf("%064x", n+1)
+}
+
+// point fabricates a distinguishable result for key index n.
+func point(n int) metrics.Point {
+	return metrics.Point{
+		Offered:    float64(n) * 0.1,
+		Throughput: float64(n) * 0.09,
+		LatencyCyc: float64(100 + n),
+		Messages:   int64(1000 + n),
+	}
+}
+
+// Run exercises the full conformance contract against the fixture.
+func Run(t *testing.T, open func(t *testing.T) Fixture) {
+	t.Run("MissOnEmpty", func(t *testing.T) {
+		f := open(t)
+		if _, ok := f.Store.Get(Key(0)); ok {
+			t.Fatal("Get on empty store reported a hit")
+		}
+		st := f.Store.Stats()
+		if st.Misses != 1 || st.Hits != 0 {
+			t.Fatalf("stats after one miss = %+v, want 1 miss, 0 hits", st)
+		}
+	})
+
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		f := open(t)
+		want := point(1)
+		f.Store.Put(Key(1), "spec-1", want)
+		got, ok := f.Store.Get(Key(1))
+		if !ok {
+			t.Fatal("Get after Put missed")
+		}
+		if got != want {
+			t.Fatalf("round-trip changed the point: got %+v, want %+v", got, want)
+		}
+		if _, ok := f.Store.Get(Key(2)); ok {
+			t.Fatal("Get of a different key hit")
+		}
+		st := f.Store.Stats()
+		if st.Hits != 1 || st.Misses != 1 || st.WriteFails != 0 {
+			t.Fatalf("stats = %+v, want {Hits:1 Misses:1 WriteFails:0}", st)
+		}
+	})
+
+	t.Run("OverwriteIsLastWriter", func(t *testing.T) {
+		f := open(t)
+		f.Store.Put(Key(1), "spec", point(1))
+		f.Store.Put(Key(1), "spec", point(2))
+		got, ok := f.Store.Get(Key(1))
+		if !ok || got != point(2) {
+			t.Fatalf("Get after overwrite = %+v ok=%v, want the second point", got, ok)
+		}
+	})
+
+	t.Run("CorruptEntryIsMiss", func(t *testing.T) {
+		f := open(t)
+		if f.Corrupt == nil {
+			t.Skip("fixture cannot corrupt entries")
+		}
+		f.Store.Put(Key(3), "spec-3", point(3))
+		f.Corrupt(Key(3))
+		if _, ok := f.Store.Get(Key(3)); ok {
+			t.Fatal("corrupt entry served as a hit")
+		}
+		// The degradation path must heal: a fresh Put over the
+		// corruption restores service.
+		f.Store.Put(Key(3), "spec-3", point(3))
+		if got, ok := f.Store.Get(Key(3)); !ok || got != point(3) {
+			t.Fatalf("Put over corruption did not heal: got %+v ok=%v", got, ok)
+		}
+	})
+
+	t.Run("WriteFailureCountedNotFatal", func(t *testing.T) {
+		f := open(t)
+		if f.FailWrites == nil {
+			t.Skip("fixture cannot inject write failures")
+		}
+		f.FailWrites()
+		f.Store.Put(Key(4), "spec-4", point(4)) // must not panic or block
+		if st := f.Store.Stats(); st.WriteFails == 0 {
+			t.Fatalf("stats after failed Put = %+v, want WriteFails > 0", st)
+		}
+	})
+
+	t.Run("ConcurrentWriters", func(t *testing.T) {
+		f := open(t)
+		const writers = 8
+		const keys = 16
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < keys; k++ {
+					f.Store.Put(Key(k), "spec", point(k))
+					f.Store.Get(Key(k))
+				}
+			}()
+		}
+		wg.Wait()
+		for k := 0; k < keys; k++ {
+			got, ok := f.Store.Get(Key(k))
+			if !ok {
+				t.Fatalf("key %d missing after concurrent writes", k)
+			}
+			if got != point(k) {
+				t.Fatalf("key %d holds %+v after concurrent writes, want %+v (torn write?)", k, got, point(k))
+			}
+		}
+	})
+}

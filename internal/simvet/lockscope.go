@@ -29,7 +29,7 @@ import (
 // annotated //simvet:blockok with justification.
 var LockScope = &Analyzer{
 	Name: "lockscope",
-	Doc:  "forbid blocking operations (channel ops, I/O, blocking calls) while holding a mutex in internal/server and internal/simrun",
+	Doc:  "forbid blocking operations (channel ops, I/O, blocking calls) while holding a mutex in internal/server, internal/simrun and internal/fleet",
 	Run:  runLockScope,
 }
 
@@ -41,7 +41,7 @@ type lockFact struct {
 // lockScopedSuffixes lists the packages whose critical sections are
 // checked. Blocking summaries are still computed module-wide so a
 // server-held lock spanning a call into simrun or engine is caught.
-var lockScopedSuffixes = []string{"internal/server", "internal/simrun"}
+var lockScopedSuffixes = []string{"internal/server", "internal/simrun", "internal/fleet"}
 
 func isLockScopedPackage(path string) bool {
 	for _, sfx := range lockScopedSuffixes {

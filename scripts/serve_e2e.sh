@@ -8,6 +8,9 @@
 #      (content-addressed cache shared across requests),
 #   3. a saturated bounded queue answers 429 with a Retry-After hint,
 #   4. SIGTERM drains in-flight jobs and exits 0.
+#
+# On failure, logs are copied to $E2E_ARTIFACT_DIR (if set) so CI can
+# upload them as artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +19,11 @@ BASE="http://127.0.0.1:$PORT"
 WORK="$(mktemp -d)"
 SIMD_PID=""
 cleanup() {
+  rc=$?
+  if [ "$rc" -ne 0 ] && [ -n "${E2E_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$E2E_ARTIFACT_DIR"
+    cp "$WORK"/*.log "$E2E_ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
   [ -n "$SIMD_PID" ] && kill -9 "$SIMD_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
